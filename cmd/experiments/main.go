@@ -1,0 +1,97 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Figs. 2-12, §5.2-5.4) plus the design-choice ablations, and
+// prints them in the order they appear in the paper.
+//
+//	experiments            # quick mode (minutes)
+//	experiments -full      # full-length workload runs
+//	experiments -only fig11,fig12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type runner struct {
+	id  string
+	run func(experiments.Options) (fmt.Stringer, error)
+}
+
+// wrap adapts a typed experiment function to the generic runner signature.
+func wrap[T fmt.Stringer](f func(experiments.Options) (T, error)) func(experiments.Options) (fmt.Stringer, error) {
+	return func(o experiments.Options) (fmt.Stringer, error) {
+		r, err := f(o)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+}
+
+func main() {
+	full := flag.Bool("full", false, "full-length runs (quick mode is the default)")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. fig2,fig11,sec54,ablations)")
+	flag.Parse()
+
+	all := []runner{
+		{"fig2", wrap(experiments.Fig2TransientValidation)},
+		{"fig3", wrap(experiments.Fig3SteadyValidation)},
+		{"fig4", wrap(experiments.Fig4AthlonMap)},
+		{"fig5", wrap(experiments.Fig5SecondaryPath)},
+		{"fig6", wrap(experiments.Fig6Warmup)},
+		{"fig7", wrap(experiments.Fig7TimeConstants)},
+		{"fig8", wrap(experiments.Fig8ShortTransient)},
+		{"fig9", wrap(experiments.Fig9HotSpotMigration)},
+		{"fig10", wrap(experiments.Fig10SteadyMaps)},
+		{"fig11", wrap(experiments.Fig11FlowDirections)},
+		{"fig12", wrap(experiments.Fig12TempTraces)},
+		{"sec52", wrap(experiments.Sec52SensingFrequency)},
+		{"sec53", wrap(experiments.Sec53SensorGranularity)},
+		{"sec54", wrap(experiments.Sec54PlacementInversion)},
+		{"ext-designspace", wrap(experiments.ExtDesignSpace)},
+		{"ablation-localh", wrap(experiments.AblationLocalH)},
+		{"ablation-oilcap", wrap(experiments.AblationBoundaryCap)},
+		{"ablation-integrator", wrap(experiments.AblationIntegrator)},
+		{"ablation-spreader", wrap(experiments.AblationSpreader)},
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			if strings.HasPrefix(id, "ablation") && id == "ablations" {
+				continue
+			}
+			want[id] = true
+		}
+		if want["ablations"] {
+			for _, r := range all {
+				if strings.HasPrefix(r.id, "ablation-") {
+					want[r.id] = true
+				}
+			}
+		}
+	}
+	opt := experiments.Options{Quick: !*full}
+	failed := 0
+	for _, r := range all {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		start := time.Now()
+		res, err := r.run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: FAILED: %v\n", r.id, err)
+			failed++
+			continue
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", r.id, time.Since(start).Seconds(), res.String())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

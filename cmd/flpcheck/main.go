@@ -1,0 +1,69 @@
+// Command flpcheck validates a floorplan file (HotSpot .flp format) and
+// renders it as ASCII art: geometry checks, overlap/gap detection, adjacency
+// summary, and the flow-direction spans that the OIL-SILICON model derives
+// from it.
+//
+//	flpcheck ev6            # built-in floorplan
+//	flpcheck chip.flp       # external file
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/floorplan"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: flpcheck <ev6|athlon|file.flp>")
+		os.Exit(2)
+	}
+	fp, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flpcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d blocks, die %.2f×%.2f mm, block area %.2f mm²\n",
+		fp.N(), fp.Width()*1e3, fp.Height()*1e3, fp.TotalArea()*1e6)
+	if err := fp.ValidateNoOverlap(); err != nil {
+		fmt.Println("OVERLAP:", err)
+	} else {
+		fmt.Println("no overlaps")
+	}
+	if err := fp.Validate(); err != nil {
+		fmt.Println("tiling:", err)
+	} else {
+		fmt.Println("blocks tile the die exactly")
+	}
+	adj := fp.Adjacencies()
+	fmt.Printf("%d adjacent block pairs\n", len(adj))
+	for _, edge := range []string{"left", "right", "bottom", "top"} {
+		idx, err := fp.EdgeBlocks(edge)
+		if err != nil {
+			continue
+		}
+		names := make([]string, len(idx))
+		for i, bi := range idx {
+			names[i] = fp.Blocks[bi].Name
+		}
+		fmt.Printf("%-6s edge: %v\n", edge, names)
+	}
+	fmt.Println()
+	fmt.Print(fp.String())
+}
+
+func load(arg string) (*floorplan.Floorplan, error) {
+	switch arg {
+	case "ev6":
+		return floorplan.EV6(), nil
+	case "athlon":
+		return floorplan.Athlon(), nil
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return floorplan.Parse(f)
+}

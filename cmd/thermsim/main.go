@@ -1,0 +1,194 @@
+// Command thermsim runs the modified HotSpot thermal model on a floorplan
+// and power input, under either cooling configuration.
+//
+// Usage examples:
+//
+//	# steady state of the built-in EV6 under oil, gcc average power
+//	thermsim -floorplan ev6 -workload gcc -package oil-silicon -direction t2b
+//
+//	# transient on an external floorplan + ptrace
+//	thermsim -flp chip.flp -ptrace chip.ptrace -package air-sink -rconv 0.3 -transient
+//
+// With -workload the power comes from the built-in synthetic workload
+// pipeline (gcc/mcf/art); with -ptrace it is read from a HotSpot-format
+// power trace file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/floorplan"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		flpName   = flag.String("floorplan", "ev6", "built-in floorplan: ev6 | athlon")
+		flpFile   = flag.String("flp", "", "external floorplan file (HotSpot .flp format; overrides -floorplan)")
+		workload  = flag.String("workload", "", "synthetic workload for power: gcc | mcf | art (EV6 floorplan only)")
+		ptrace    = flag.String("ptrace", "", "power trace file (HotSpot .ptrace format)")
+		pkg       = flag.String("package", "air-sink", "cooling: air-sink | oil-silicon | water-sink")
+		direction = flag.String("direction", "uniform", "oil flow direction: uniform | l2r | r2l | b2t | t2b")
+		rconv     = flag.Float64("rconv", 0, "override convection resistance (K/W); 0 = package default")
+		secondary = flag.Bool("secondary", false, "model the secondary heat transfer path")
+		ambientC  = flag.Float64("ambient", 45, "ambient temperature (°C)")
+		transient = flag.Bool("transient", false, "run the full power trace transiently (default: steady state of the average)")
+		cycles    = flag.Uint64("cycles", 20_000_000, "simulated cycles for -workload")
+		showMap   = flag.Bool("map", false, "print an ASCII thermal map")
+	)
+	flag.Parse()
+	if err := run(*flpName, *flpFile, *workload, *ptrace, *pkg, *direction, *rconv, *secondary, *ambientC, *transient, *cycles, *showMap); err != nil {
+		fmt.Fprintln(os.Stderr, "thermsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(flpName, flpFile, workload, ptrace, pkg, direction string, rconv float64, secondary bool, ambientC float64, transient bool, cycles uint64, showMap bool) error {
+	// Floorplan.
+	var fp *floorplan.Floorplan
+	switch {
+	case flpFile != "":
+		f, err := os.Open(flpFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		parsed, err := floorplan.Parse(f)
+		if err != nil {
+			return err
+		}
+		fp = parsed
+	case flpName == "ev6":
+		fp = floorplan.EV6()
+	case flpName == "athlon":
+		fp = floorplan.Athlon()
+	default:
+		return fmt.Errorf("unknown floorplan %q", flpName)
+	}
+
+	// Power.
+	var tr *trace.PowerTrace
+	switch {
+	case workload != "":
+		var err error
+		tr, err = core.RunWorkload(core.WorkloadSpec{Name: workload, Cycles: cycles})
+		if err != nil {
+			return err
+		}
+	case ptrace != "":
+		f, err := os.Open(ptrace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err = trace.Read(f, 3.33e-6)
+		if err != nil {
+			return err
+		}
+	case flpName == "athlon" && flpFile == "":
+		var err error
+		tr, err = trace.Step(fp.Names(), floorplan.AthlonPowers(), 1, 1)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -workload or -ptrace for power input")
+	}
+
+	model, err := core.BuildModel(fp, core.PackageSpec{
+		Kind: pkg, Rconv: rconv, Direction: direction,
+		Secondary: secondary, AmbientK: ambientC + 273.15,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("floorplan: %d blocks, %.1f×%.1f mm die\n", fp.N(), fp.Width()*1e3, fp.Height()*1e3)
+	fmt.Printf("package: %s, R_conv = %.3f K/W, ambient %.1f °C\n", pkg, model.RconvEffective(), ambientC)
+	fmt.Printf("power: %.1f W average over %d samples\n", tr.TotalAverage(), len(tr.Rows))
+
+	avg := tr.Average()
+	pm := map[string]float64{}
+	for i, n := range tr.Names {
+		pm[n] = avg[i]
+	}
+	vec, err := model.PowerVector(pm)
+	if err != nil {
+		return err
+	}
+	res := model.SteadyState(vec)
+
+	if transient {
+		state := append([]float64(nil), res.Temps...)
+		pts, err := model.RunTrace(state, func(t float64, p []float64) {
+			row := tr.At(t)
+			for bi, name := range fp.Names() {
+				c := tr.Column(name)
+				if c >= 0 {
+					p[bi] = row[c]
+				}
+			}
+		}, tr.Duration(), tr.Interval)
+		if err != nil {
+			return err
+		}
+		res = model.NewResult(state)
+		// Report the peak over the run.
+		peak := make([]float64, fp.N())
+		for _, p := range pts {
+			for i, v := range p.BlockC {
+				if v > peak[i] {
+					peak[i] = v
+				}
+			}
+		}
+		fmt.Printf("\ntransient run: %d points over %.4g s\n", len(pts), tr.Duration())
+		fmt.Println("block                 final °C   peak °C")
+		for i, n := range fp.Names() {
+			fmt.Printf("%-20s  %8.1f  %8.1f\n", n, res.BlocksC()[i], peak[i])
+		}
+	} else {
+		fmt.Println("\nsteady state:")
+		fmt.Println("block                     °C")
+		for i, n := range fp.Names() {
+			fmt.Printf("%-20s  %8.1f\n", n, res.BlocksC()[i])
+		}
+	}
+	hotName, hot := res.Hottest()
+	coolName, cool := res.Coolest()
+	fmt.Printf("\nhottest %s %.1f °C | coolest %s %.1f °C | spread %.1f °C | avg %.1f °C\n",
+		hotName, hot, coolName, cool, res.Spread(), res.AverageC())
+
+	if showMap {
+		printASCIIMap(res.Grid(64, 32), 64, 32)
+	}
+	return nil
+}
+
+// printASCIIMap renders a Celsius grid with a coarse intensity ramp.
+func printASCIIMap(grid []float64, nx, ny int) {
+	lo, hi := grid[0], grid[0]
+	for _, v := range grid {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	ramp := " .:-=+*#%@"
+	fmt.Printf("\nthermal map (%.1f .. %.1f °C):\n", lo, hi)
+	for iy := ny - 1; iy >= 0; iy-- {
+		for ix := 0; ix < nx; ix++ {
+			v := grid[iy*nx+ix]
+			k := 0
+			if hi > lo {
+				k = int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+			}
+			fmt.Print(string(ramp[k]))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,74 @@
+// dtmstudy sweeps dynamic-thermal-management parameters under both cooling
+// configurations, quantifying the paper's §5.1 point: a DTM policy tuned on
+// IR (oil) measurements is mis-tuned for the real air-cooled package —
+// engagement durations, trigger margins and resulting performance penalties
+// all shift.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dtm"
+	"repro/internal/floorplan"
+	"repro/internal/trace"
+)
+
+func main() {
+	fp := floorplan.EV6()
+	names := fp.Names()
+
+	// A bursty workload: 3 W into IntReg, 30 ms on / 70 ms off.
+	tr, err := trace.PulseTrain(names, "IntReg", 3.0, 30e-3, 70e-3, 1e-3, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, kind := range []string{"air-sink", "oil-silicon"} {
+		model, err := core.BuildModel(fp, core.PackageSpec{Kind: kind, Rconv: 1.0})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Trigger a fixed margin above this package's steady baseline so
+		// both policies face the same headroom.
+		avg := tr.Average()
+		pm := map[string]float64{}
+		for i, n := range names {
+			pm[n] = avg[i]
+		}
+		vec, err := model.PowerVector(pm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := model.SteadyState(vec)
+		trigger := base.BlockC("IntReg") + 3
+
+		fmt.Printf("%s  (baseline IntReg %.1f °C, trigger %.1f °C)\n", kind, base.BlockC("IntReg"), trigger)
+		fmt.Println("  engage(ms)  engaged(s)  triggers  peak(°C)  perf-penalty")
+		for _, engageMs := range []float64{2, 5, 20, 60} {
+			metrics, _, err := dtm.Run(dtm.Config{
+				Model: model,
+				Trace: tr,
+				Policy: dtm.Policy{
+					TriggerC:       trigger,
+					EngageDuration: engageMs * 1e-3,
+					SampleInterval: 1e-3,
+					PerfFactor:     0.5,
+					Actuator:       dtm.FetchGate,
+				},
+				EmergencyC:    trigger + 5,
+				InitialSteady: true,
+			}, "")
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %9.0f  %10.3f  %8d  %8.1f  %11.1f%%\n",
+				engageMs, metrics.EngagedTime, metrics.Engagements, metrics.PeakC, 100*metrics.PerfPenalty)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Reading: the oil configuration needs long engagements to make any dent")
+	fmt.Println("(slow cool-down), while short engagements already serve the air-sink —")
+	fmt.Println("tuning DTM on IR measurements overestimates the needed engagement duration.")
+}

@@ -1,0 +1,271 @@
+// Package dtm implements dynamic thermal management: a sensor-driven
+// controller with a trigger threshold, engagement duration and sampling
+// interval, driving a throttling actuator (fetch gating or DVFS) in closed
+// loop with the thermal model. It quantifies the paper's §5 claims: the same
+// policy behaves differently under AIR-SINK and OIL-SILICON (engagement
+// duration, violation coverage, performance penalty), and badly placed
+// sensors miss emergencies.
+package dtm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hotspot"
+	"repro/internal/trace"
+)
+
+// Actuator describes how engaging DTM reduces power.
+type Actuator int
+
+const (
+	// FetchGate halves activity: dynamic power scales by the throttle
+	// factor, performance by the same factor.
+	FetchGate Actuator = iota
+	// DVFS scales voltage and frequency together: power scales roughly
+	// cubically with the performance factor.
+	DVFS
+)
+
+func (a Actuator) String() string {
+	switch a {
+	case FetchGate:
+		return "fetch-gate"
+	case DVFS:
+		return "dvfs"
+	default:
+		return fmt.Sprintf("Actuator(%d)", int(a))
+	}
+}
+
+// Policy is a DTM controller configuration.
+type Policy struct {
+	// TriggerC is the sensor temperature that engages DTM (°C).
+	TriggerC float64
+	// EngageDuration is how long DTM stays engaged after a trigger (s).
+	EngageDuration float64
+	// SampleInterval is the sensor sampling period (s).
+	SampleInterval float64
+	// PerfFactor is the relative performance while engaged (0, 1]:
+	// fetch-gating at 0.5 halves throughput.
+	PerfFactor float64
+	// Actuator selects the power/performance relationship.
+	Actuator Actuator
+}
+
+// Validate reports policy configuration errors.
+func (p Policy) Validate() error {
+	if p.TriggerC <= 0 {
+		return fmt.Errorf("dtm: non-positive trigger %g", p.TriggerC)
+	}
+	if p.EngageDuration <= 0 {
+		return fmt.Errorf("dtm: non-positive engagement duration %g", p.EngageDuration)
+	}
+	if p.SampleInterval <= 0 {
+		return fmt.Errorf("dtm: non-positive sample interval %g", p.SampleInterval)
+	}
+	if p.PerfFactor <= 0 || p.PerfFactor > 1 {
+		return fmt.Errorf("dtm: performance factor %g outside (0,1]", p.PerfFactor)
+	}
+	return nil
+}
+
+// powerScale returns the dynamic-power multiplier while engaged.
+func (p Policy) powerScale() float64 {
+	switch p.Actuator {
+	case DVFS:
+		// P ∝ f·V² with V ∝ f ⇒ P ∝ f³.
+		return math.Pow(p.PerfFactor, 3)
+	default:
+		return p.PerfFactor
+	}
+}
+
+// SensorView tells the controller which block a sensor reads and with what
+// offset. An empty sensor list gives the controller oracle knowledge of the
+// true hottest block.
+type SensorView struct {
+	Block   string
+	OffsetC float64
+}
+
+// Config describes one closed-loop run.
+type Config struct {
+	Model *hotspot.Model
+	// Trace is the nominal per-block power schedule. It loops if shorter
+	// than Duration.
+	Trace *trace.PowerTrace
+	// Sensors drive the controller; empty means oracle sensing.
+	Sensors []SensorView
+	Policy  Policy
+	// EmergencyC is the true thermal limit used for violation accounting.
+	EmergencyC float64
+	// Duration of the run (s). Zero means one pass of the trace.
+	Duration float64
+	// InitialSteady starts from the steady state of the trace's average
+	// power rather than from ambient.
+	InitialSteady bool
+}
+
+// Metrics summarizes a closed-loop run.
+type Metrics struct {
+	Duration float64
+	// EngagedTime is total time DTM was throttling (s).
+	EngagedTime float64
+	// Engagements counts distinct trigger events.
+	Engagements int
+	// ViolationTime is total time the true hottest block exceeded
+	// EmergencyC (s) — nonzero violation time under an active policy means
+	// the sensors/policy missed emergencies.
+	ViolationTime float64
+	// PeakC is the true peak temperature reached (°C).
+	PeakC float64
+	// PerfPenalty is the throughput lost to throttling, as a fraction of
+	// the run (0 = none).
+	PerfPenalty float64
+	// ObservedPeakC is the hottest sensor reading seen by the controller.
+	ObservedPeakC float64
+}
+
+// Run simulates the closed loop and returns metrics plus the true
+// temperature trace of the named probe block (may be "" to skip).
+func Run(cfg Config, probeBlock string) (Metrics, []hotspot.TracePoint, error) {
+	if cfg.Model == nil || cfg.Trace == nil {
+		return Metrics{}, nil, fmt.Errorf("dtm: need model and trace")
+	}
+	if err := cfg.Policy.Validate(); err != nil {
+		return Metrics{}, nil, err
+	}
+	if cfg.EmergencyC <= 0 {
+		return Metrics{}, nil, fmt.Errorf("dtm: non-positive emergency threshold")
+	}
+	fp := cfg.Model.Floorplan()
+	// Resolve trace columns and sensor blocks to floorplan order.
+	cols := make([]int, fp.N())
+	for bi, name := range fp.Names() {
+		c := cfg.Trace.Column(name)
+		if c < 0 {
+			return Metrics{}, nil, fmt.Errorf("dtm: trace lacks block %q", name)
+		}
+		cols[bi] = c
+	}
+	sensorIdx := make([]int, len(cfg.Sensors))
+	for i, s := range cfg.Sensors {
+		bi := fp.Index(s.Block)
+		if bi < 0 {
+			return Metrics{}, nil, fmt.Errorf("dtm: sensor on unknown block %q", s.Block)
+		}
+		sensorIdx[i] = bi
+	}
+	probe := -1
+	if probeBlock != "" {
+		probe = fp.Index(probeBlock)
+		if probe < 0 {
+			return Metrics{}, nil, fmt.Errorf("dtm: unknown probe block %q", probeBlock)
+		}
+	}
+
+	duration := cfg.Duration
+	if duration == 0 {
+		duration = cfg.Trace.Duration()
+	}
+	dt := cfg.Trace.Interval
+
+	// Initial condition.
+	var temps []float64
+	if cfg.InitialSteady {
+		avg := cfg.Trace.Average()
+		p := make([]float64, fp.N())
+		for bi := range p {
+			p[bi] = avg[cols[bi]]
+		}
+		vec, err := cfg.Model.BlockPowerVector(p)
+		if err != nil {
+			return Metrics{}, nil, err
+		}
+		temps = cfg.Model.SteadyState(vec).Temps
+	} else {
+		temps = cfg.Model.AmbientState()
+	}
+
+	var m Metrics
+	m.Duration = duration
+	m.PeakC = math.Inf(-1)
+	m.ObservedPeakC = math.Inf(-1)
+
+	engagedUntil := -1.0
+	nextSample := 0.0
+	scale := cfg.Policy.powerScale()
+	blockPower := make([]float64, fp.N())
+	var points []hotspot.TracePoint
+
+	for t := 0.0; t < duration-1e-12; t += dt {
+		res := cfg.Model.NewResult(temps)
+		blocksC := res.BlocksC()
+
+		// True state accounting.
+		hot := blocksC[0]
+		for _, v := range blocksC {
+			if v > hot {
+				hot = v
+			}
+		}
+		if hot > m.PeakC {
+			m.PeakC = hot
+		}
+		if hot > cfg.EmergencyC {
+			m.ViolationTime += dt
+		}
+		if probe >= 0 {
+			points = append(points, hotspot.TracePoint{Time: t, BlockC: append([]float64(nil), blocksC...)})
+		}
+
+		// Controller: sample sensors on schedule.
+		if t >= nextSample-1e-15 {
+			obs := math.Inf(-1)
+			if len(sensorIdx) == 0 {
+				obs = hot
+			} else {
+				for i, bi := range sensorIdx {
+					if v := blocksC[bi] + cfg.Sensors[i].OffsetC; v > obs {
+						obs = v
+					}
+				}
+			}
+			if obs > m.ObservedPeakC {
+				m.ObservedPeakC = obs
+			}
+			if obs >= cfg.Policy.TriggerC {
+				if t >= engagedUntil {
+					m.Engagements++
+				}
+				engagedUntil = t + cfg.Policy.EngageDuration
+			}
+			nextSample += cfg.Policy.SampleInterval
+		}
+
+		// Apply power (throttled while engaged).
+		engaged := t < engagedUntil
+		row := cfg.Trace.At(math.Mod(t, cfg.Trace.Duration()))
+		for bi := range blockPower {
+			p := row[cols[bi]]
+			if engaged {
+				p *= scale
+			}
+			blockPower[bi] = p
+		}
+		vec, err := cfg.Model.BlockPowerVector(blockPower)
+		if err != nil {
+			return Metrics{}, nil, err
+		}
+		if err := cfg.Model.Transient(temps, vec, dt, dt); err != nil {
+			return Metrics{}, nil, err
+		}
+		if engaged {
+			m.EngagedTime += dt
+			m.PerfPenalty += dt * (1 - cfg.Policy.PerfFactor)
+		}
+	}
+	m.PerfPenalty /= duration
+	return m, points, nil
+}

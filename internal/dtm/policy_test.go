@@ -1,0 +1,136 @@
+package dtm
+
+import (
+	"testing"
+
+	"repro/internal/hotspot"
+)
+
+// TestDVFSCoolsMoreThanFetchGate: at the same performance factor, DVFS cuts
+// power cubically and therefore yields a lower peak temperature.
+func TestDVFSCoolsMoreThanFetchGate(t *testing.T) {
+	m := evModel(t, hotspot.OilSilicon, 1.0)
+	tr := burstTrace(t)
+	run := func(act Actuator) Metrics {
+		p := basePolicy()
+		p.TriggerC = 55
+		p.Actuator = act
+		met, _, err := Run(Config{Model: m, Trace: tr, Policy: p, EmergencyC: 1000, InitialSteady: true}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return met
+	}
+	fg := run(FetchGate)
+	dv := run(DVFS)
+	if fg.EngagedTime == 0 || dv.EngagedTime == 0 {
+		t.Fatal("both policies should engage")
+	}
+	if dv.PeakC >= fg.PeakC {
+		t.Fatalf("DVFS peak %.2f should undercut fetch-gate %.2f", dv.PeakC, fg.PeakC)
+	}
+}
+
+// TestSlowSamplingDelaysResponse: a controller sampling too slowly engages
+// later and lets the die run hotter.
+func TestSlowSamplingDelaysResponse(t *testing.T) {
+	m := evModel(t, hotspot.OilSilicon, 1.0)
+	tr := burstTrace(t)
+	run := func(interval float64) Metrics {
+		p := basePolicy()
+		p.TriggerC = 55
+		p.SampleInterval = interval
+		met, _, err := Run(Config{Model: m, Trace: tr, Policy: p, EmergencyC: 1000, InitialSteady: true}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return met
+	}
+	fast := run(1e-3)
+	slow := run(50e-3)
+	// A 50 ms sampler sees at most a couple of instants per 100 ms burst
+	// period, so it can keep DTM engaged for far less total time.
+	if slow.EngagedTime >= fast.EngagedTime {
+		t.Fatalf("slow sampling should throttle less: %g vs %g s", slow.EngagedTime, fast.EngagedTime)
+	}
+	if slow.PeakC < fast.PeakC-1e-9 {
+		t.Fatalf("slow sampling should not lower the peak: %.2f vs %.2f", slow.PeakC, fast.PeakC)
+	}
+}
+
+// TestHigherThresholdFewerEngagements: raising the trigger reduces engaged
+// time and performance penalty.
+func TestHigherThresholdFewerEngagements(t *testing.T) {
+	m := evModel(t, hotspot.OilSilicon, 1.0)
+	tr := burstTrace(t)
+	run := func(trigger float64) Metrics {
+		p := basePolicy()
+		p.TriggerC = trigger
+		met, _, err := Run(Config{Model: m, Trace: tr, Policy: p, EmergencyC: 1000, InitialSteady: true}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return met
+	}
+	low := run(50)
+	high := run(75)
+	if high.EngagedTime > low.EngagedTime {
+		t.Fatalf("higher trigger should engage less: %g vs %g", high.EngagedTime, low.EngagedTime)
+	}
+	if high.PerfPenalty > low.PerfPenalty {
+		t.Fatalf("higher trigger should cost less: %g vs %g", high.PerfPenalty, low.PerfPenalty)
+	}
+}
+
+// TestViolationAccounting: with a low emergency threshold, violations are
+// recorded; an aggressive policy reduces violation time.
+func TestViolationAccounting(t *testing.T) {
+	m := evModel(t, hotspot.OilSilicon, 1.0)
+	tr := burstTrace(t)
+	base := basePolicy()
+	base.TriggerC = 1e6 // off
+	off, _, err := Run(Config{Model: m, Trace: tr, Policy: base, EmergencyC: 60, InitialSteady: true}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.ViolationTime == 0 {
+		t.Skip("burst too cool to violate in this configuration")
+	}
+	aggressive := basePolicy()
+	aggressive.TriggerC = 55
+	aggressive.EngageDuration = 50e-3
+	aggressive.PerfFactor = 0.25
+	on, _, err := Run(Config{Model: m, Trace: tr, Policy: aggressive, EmergencyC: 60, InitialSteady: true}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.ViolationTime >= off.ViolationTime {
+		t.Fatalf("DTM should reduce violation time: %g vs %g", on.ViolationTime, off.ViolationTime)
+	}
+}
+
+// TestSensorOffsetShiftsTriggering: a sensor reading low delays triggering.
+func TestSensorOffsetShiftsTriggering(t *testing.T) {
+	m := evModel(t, hotspot.OilSilicon, 1.0)
+	tr := burstTrace(t)
+	run := func(offset float64) Metrics {
+		p := basePolicy()
+		p.TriggerC = 58
+		met, _, err := Run(Config{
+			Model: m, Trace: tr, Policy: p, EmergencyC: 1000, InitialSteady: true,
+			Sensors: []SensorView{{Block: "IntReg", OffsetC: offset}},
+		}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return met
+	}
+	exact := run(0)
+	low := run(-8)
+	if low.EngagedTime > exact.EngagedTime {
+		t.Fatalf("under-reading sensor should engage less: %g vs %g", low.EngagedTime, exact.EngagedTime)
+	}
+	if low.ObservedPeakC >= exact.ObservedPeakC {
+		t.Fatal("offset must shift observations")
+	}
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/floorplan"
+	"repro/internal/hotspot"
+	"repro/internal/materials"
+)
+
+// athlonAmbientK is the oil bath temperature for the Athlon IR emulation
+// (room-temperature lab oil, matching the setup of Mesa-Martinez et al.).
+const athlonAmbientK = 25 + materials.KelvinOffset
+
+// athlonOil builds the Athlon OIL-SILICON model used by Figs. 4-5.
+func athlonOil(secondary bool) (*hotspot.Model, error) {
+	return hotspot.New(hotspot.Config{
+		Floorplan:    floorplan.Athlon(),
+		DieThickness: floorplan.AthlonDieThickness,
+		AmbientK:     athlonAmbientK,
+		Package:      hotspot.OilSilicon,
+		Oil:          hotspot.OilConfig{Direction: hotspot.LeftToRight, Velocity: 30},
+		Secondary:    hotspot.SecondaryPathConfig{Enabled: secondary},
+	})
+}
+
+func athlonAir(secondary bool) (*hotspot.Model, error) {
+	return hotspot.New(hotspot.Config{
+		Floorplan:    floorplan.Athlon(),
+		DieThickness: floorplan.AthlonDieThickness,
+		AmbientK:     athlonAmbientK,
+		Package:      hotspot.AirSink,
+		Air:          hotspot.AirSinkConfig{RConvec: 0.3},
+		Secondary:    hotspot.SecondaryPathConfig{Enabled: secondary},
+	})
+}
+
+// Fig4Result is the steady-state Athlon thermal map under OIL-SILICON with
+// the secondary path (the paper's Fig. 4, validated qualitatively against
+// the IR snapshot of Mesa-Martinez et al.: "Sched" ≈ 73 °C hottest, ≈ 45 °C
+// coolest excluding the blank edges).
+type Fig4Result struct {
+	BlockC     map[string]float64
+	Hottest    string
+	HottestC   float64
+	CoolestNB  string // coolest excluding blank edge regions
+	CoolestC   float64
+	GridC      []float64 // 56×56 map for rendering
+	GridNX     int
+	RconvKperW float64
+}
+
+// Fig4AthlonMap runs the Athlon steady state.
+func Fig4AthlonMap(opt Options) (*Fig4Result, error) {
+	m, err := athlonOil(true)
+	if err != nil {
+		return nil, err
+	}
+	pvec, err := m.PowerVector(floorplan.AthlonPowers())
+	if err != nil {
+		return nil, err
+	}
+	res := m.SteadyState(pvec)
+	out := &Fig4Result{
+		BlockC:     blockCMap(m, res),
+		RconvKperW: m.RconvEffective(),
+		GridNX:     56,
+	}
+	out.GridC = res.Grid(56, 56)
+	out.Hottest, out.HottestC = res.Hottest()
+	out.CoolestC = math.Inf(1)
+	for name, v := range out.BlockC {
+		if strings.HasPrefix(name, "blank") {
+			continue
+		}
+		if v < out.CoolestC {
+			out.CoolestNB, out.CoolestC = name, v
+		}
+	}
+	return out, nil
+}
+
+func (r *Fig4Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 4 — Athlon steady map, OIL-SILICON with secondary path\n")
+	fmt.Fprintf(&sb, "R_conv = %.3f K/W\n", r.RconvKperW)
+	fmt.Fprintf(&sb, "hottest: %s %.1f °C (paper: Sched ≈ 73 °C)\n", r.Hottest, r.HottestC)
+	fmt.Fprintf(&sb, "coolest (non-blank): %s %.1f °C (paper: ≈ 45 °C)\n", r.CoolestNB, r.CoolestC)
+	rows := make([][]string, 0, len(r.BlockC))
+	for _, name := range hottestBlocks(r.BlockC, len(r.BlockC)) {
+		rows = append(rows, []string{name, f1(r.BlockC[name])})
+	}
+	sb.WriteString(table([]string{"block", "T(°C)"}, rows))
+	return sb.String()
+}
+
+// Fig5Result is the secondary-path ablation for both packages (the paper's
+// Fig. 5: removing the secondary path shifts OIL-SILICON temperatures by
+// >10 °C but AIR-SINK by <1%).
+type Fig5Result struct {
+	Blocks      []string
+	OilWithC    []float64
+	OilWithoutC []float64
+	AirWithC    []float64
+	AirWithoutC []float64
+	// Summary deltas at the hottest block.
+	OilDeltaHotC    float64
+	AirDeltaHotFrac float64
+	// OilSecondaryShare is the fraction of heat leaving via the secondary
+	// path in the oil configuration.
+	OilSecondaryShare float64
+}
+
+// Fig5SecondaryPath runs the ablation.
+func Fig5SecondaryPath(opt Options) (*Fig5Result, error) {
+	powers := floorplan.AthlonPowers()
+	run := func(build func(bool) (*hotspot.Model, error), secondary bool) (*hotspot.Model, *hotspot.Result, error) {
+		m, err := build(secondary)
+		if err != nil {
+			return nil, nil, err
+		}
+		p, err := m.PowerVector(powers)
+		if err != nil {
+			return nil, nil, err
+		}
+		return m, m.SteadyState(p), nil
+	}
+	mOilW, oilW, err := run(athlonOil, true)
+	if err != nil {
+		return nil, err
+	}
+	_, oilWo, err := run(athlonOil, false)
+	if err != nil {
+		return nil, err
+	}
+	_, airW, err := run(athlonAir, true)
+	if err != nil {
+		return nil, err
+	}
+	_, airWo, err := run(athlonAir, false)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig5Result{Blocks: floorplan.Athlon().Names()}
+	out.OilWithC = oilW.BlocksC()
+	out.OilWithoutC = oilWo.BlocksC()
+	out.AirWithC = airW.BlocksC()
+	out.AirWithoutC = airWo.BlocksC()
+	_, hotW := oilW.Hottest()
+	_, hotWo := oilWo.Hottest()
+	out.OilDeltaHotC = hotWo - hotW
+	_, aW := airW.Hottest()
+	_, aWo := airWo.Hottest()
+	out.AirDeltaHotFrac = math.Abs(aWo-aW) / aW
+	pv, err := mOilW.PowerVector(powers)
+	if err != nil {
+		return nil, err
+	}
+	out.OilSecondaryShare = mOilW.SecondaryHeatFraction(pv, oilW)
+	return out, nil
+}
+
+func (r *Fig5Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 5 — secondary heat path ablation (Athlon)\n")
+	fmt.Fprintf(&sb, "(a) OIL-SILICON: hottest block %.1f °C hotter without the secondary path (paper: >10 °C)\n", r.OilDeltaHotC)
+	fmt.Fprintf(&sb, "    secondary path carries %.0f%% of the heat\n", 100*r.OilSecondaryShare)
+	fmt.Fprintf(&sb, "(b) AIR-SINK: hottest block changes %.2f%% without it (paper: <1%%)\n", 100*r.AirDeltaHotFrac)
+	rows := make([][]string, len(r.Blocks))
+	for i, b := range r.Blocks {
+		rows[i] = []string{b,
+			f1(r.OilWithC[i]), f1(r.OilWithoutC[i]),
+			f1(r.AirWithC[i]), f1(r.AirWithoutC[i])}
+	}
+	sb.WriteString(table([]string{"block", "oil w/", "oil w/o", "air w/", "air w/o"}, rows))
+	return sb.String()
+}

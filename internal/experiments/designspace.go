@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dtm"
+	"repro/internal/floorplan"
+	"repro/internal/hotspot"
+	"repro/internal/trace"
+)
+
+// DesignPoint is one cooling configuration in the package design-space
+// sweep.
+type DesignPoint struct {
+	Name       string
+	RconvKperW float64
+	// Steady-state metrics on the gcc average power.
+	HottestBlock string
+	MaxC         float64
+	SpreadC      float64
+	// Transient metric: dominant warm-up time constant.
+	TauS float64
+	// DTM metric: performance penalty of a fixed policy on a pulsed
+	// workload (fraction of throughput lost).
+	DTMPenalty float64
+}
+
+// ExtDesignSpaceResult sweeps the thermal-package design space the paper's
+// §2.3 closes with ("the thermal package choice [is] another design knob"):
+// air-sink at several R_convec, oil at several velocities, forced water and
+// integrated microchannels — all on the same die and workload.
+type ExtDesignSpaceResult struct {
+	Points []DesignPoint
+}
+
+// ExtDesignSpace runs the sweep.
+func ExtDesignSpace(opt Options) (*ExtDesignSpaceResult, error) {
+	cycles := uint64(20_000_000)
+	if opt.Quick {
+		cycles = 8_000_000
+	}
+	tr, err := gccPowerTrace(cycles, 3_000_000)
+	if err != nil {
+		return nil, err
+	}
+	powers := avgPowerMap(tr)
+	fp := floorplan.EV6()
+
+	type cfgSpec struct {
+		name string
+		cfg  hotspot.Config
+	}
+	specs := []cfgSpec{
+		{"air-sink R=0.8", hotspot.Config{Floorplan: fp, Package: hotspot.AirSink, AmbientK: fig12AmbientK, Air: hotspot.AirSinkConfig{RConvec: 0.8}}},
+		{"air-sink R=0.3", hotspot.Config{Floorplan: fp, Package: hotspot.AirSink, AmbientK: fig12AmbientK, Air: hotspot.AirSinkConfig{RConvec: 0.3}}},
+		{"water-sink R=0.05", hotspot.Config{Floorplan: fp, Package: hotspot.AirSink, AmbientK: fig12AmbientK, Air: hotspot.AirSinkConfig{RConvec: 0.05}}},
+		{"oil 10 m/s", hotspot.Config{Floorplan: fp, Package: hotspot.OilSilicon, AmbientK: fig12AmbientK, Oil: hotspot.OilConfig{Direction: hotspot.LeftToRight}}},
+		{"oil 10 m/s + secondary", hotspot.Config{Floorplan: fp, Package: hotspot.OilSilicon, AmbientK: fig12AmbientK, Oil: hotspot.OilConfig{Direction: hotspot.LeftToRight}, Secondary: hotspot.SecondaryPathConfig{Enabled: true}}},
+		{"microchannel", hotspot.Config{Floorplan: fp, Package: hotspot.Microchannel, AmbientK: fig12AmbientK}},
+	}
+
+	res := &ExtDesignSpaceResult{}
+	for _, spec := range specs {
+		m, err := hotspot.New(spec.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.name, err)
+		}
+		vec, err := m.PowerVector(powers)
+		if err != nil {
+			return nil, err
+		}
+		ss := m.SteadyState(vec)
+		hot, maxC := ss.Hottest()
+
+		// Fixed DTM policy on a pulsed overload: how much throughput does
+		// this package cost? The trigger sits a fixed margin above the
+		// pulse workload's own baseline so every package faces the same
+		// headroom.
+		pulse, err := pulseOverloadTrace(fp)
+		if err != nil {
+			return nil, err
+		}
+		pulseAvg := avgPowerMap(pulse)
+		pulseVec, err := m.PowerVector(pulseAvg)
+		if err != nil {
+			return nil, err
+		}
+		_, pulseBase := m.SteadyState(pulseVec).Hottest()
+		metrics, _, err := dtm.Run(dtm.Config{
+			Model: m, Trace: pulse,
+			Policy: dtm.Policy{
+				TriggerC:       pulseBase + 1.5,
+				EngageDuration: 10e-3,
+				SampleInterval: 1e-3,
+				PerfFactor:     0.5,
+			},
+			EmergencyC:    pulseBase + 50,
+			InitialSteady: true,
+		}, "")
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, DesignPoint{
+			Name:         spec.name,
+			RconvKperW:   m.RconvEffective(),
+			HottestBlock: hot,
+			MaxC:         maxC,
+			SpreadC:      ss.Spread(),
+			TauS:         m.DominantTimeConstant(),
+			DTMPenalty:   metrics.PerfPenalty,
+		})
+	}
+	return res, nil
+}
+
+// pulseOverloadTrace builds the shared DTM stress input.
+func pulseOverloadTrace(fp *floorplan.Floorplan) (*trace.PowerTrace, error) {
+	return trace.PulseTrain(fp.Names(), "IntReg", 3.0, 30e-3, 70e-3, 1e-3, 5)
+}
+
+func (r *ExtDesignSpaceResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("extension — thermal package design space (EV6/gcc)\n")
+	rows := make([][]string, len(r.Points))
+	for i, p := range r.Points {
+		rows[i] = []string{p.Name, f3(p.RconvKperW), p.HottestBlock, f1(p.MaxC), f1(p.SpreadC),
+			fmt.Sprintf("%.3g", p.TauS), fmt.Sprintf("%.1f%%", 100*p.DTMPenalty)}
+	}
+	sb.WriteString(table([]string{"package", "Rconv", "hottest", "max °C", "spread °C", "tau s", "DTM penalty"}, rows))
+	sb.WriteString("(the package alone moves peak temperature, gradients, time constants and DTM cost — §2.3)\n")
+	return sb.String()
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/floorplan"
+	"repro/internal/hotspot"
+	"repro/internal/materials"
+	"repro/internal/refsolver"
+)
+
+// Fig2Result compares the transient step responses of the compact oil model
+// and the fine-grid reference solver (the paper's Fig. 2: HotSpot vs ANSYS,
+// 20×20×0.5 mm silicon, 10 m/s oil, 200 W uniform step, probed at the die
+// center).
+type Fig2Result struct {
+	// Times and the two temperature series (K).
+	Times            []float64
+	CompactK         []float64
+	ReferenceK       []float64
+	SteadyCompactK   float64
+	SteadyReferenceK float64
+	// Tau63 are the 63.2%-rise times of both models (s) — the paper notes
+	// "the thermal time constant is on the order of a second".
+	Tau63Compact   float64
+	Tau63Reference float64
+	// MaxDeviationK is the largest pointwise gap between the series.
+	MaxDeviationK float64
+	RconvKperW    float64
+}
+
+// Fig2TransientValidation runs the §3.2 transient validation.
+func Fig2TransientValidation(opt Options) (*Fig2Result, error) {
+	const (
+		side  = 0.020
+		thick = 0.5e-3
+		watts = 200.0
+		amb   = 300.0
+	)
+	duration := 5.0
+	dt := 0.02
+	grid := 20
+	if opt.Quick {
+		duration, dt, grid = 2.5, 0.05, 12
+	}
+
+	// Compact model: single-block die under uniform oil.
+	fp := floorplan.UniformDie("die", side, side)
+	compact, err := hotspot.New(hotspot.Config{
+		Floorplan: fp, DieThickness: thick, AmbientK: amb,
+		Package: hotspot.OilSilicon,
+		Oil:     hotspot.OilConfig{Direction: hotspot.Uniform},
+	})
+	if err != nil {
+		return nil, err
+	}
+	pvec, err := compact.PowerVector(map[string]float64{"die": watts})
+	if err != nil {
+		return nil, err
+	}
+
+	// Reference model.
+	ref, err := refsolver.New(refsolver.Config{
+		Width: side, Height: side, Thickness: thick,
+		NX: grid, NY: grid, NZ: 4, AmbientK: amb,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ref.AddUniformPower(watts)
+
+	res := &Fig2Result{RconvKperW: compact.RconvEffective()}
+	cState := compact.AmbientState()
+	rState := ref.AmbientField()
+	record := func(t float64) {
+		res.Times = append(res.Times, t)
+		res.CompactK = append(res.CompactK, compact.NewResult(cState).BlockK("die"))
+		res.ReferenceK = append(res.ReferenceK, ref.ProbeCenter(rState))
+	}
+	record(0)
+	for t := 0.0; t < duration-1e-12; t += dt {
+		if err := compact.Transient(cState, pvec, dt, dt/4); err != nil {
+			return nil, err
+		}
+		if err := ref.Transient(rState, dt, dt); err != nil {
+			return nil, err
+		}
+		record(t + dt)
+	}
+	res.SteadyCompactK = compact.SteadyState(pvec).BlockK("die")
+	steadyRef, err := ref.Steady()
+	if err != nil {
+		return nil, err
+	}
+	res.SteadyReferenceK = ref.ProbeCenter(steadyRef)
+
+	tau := func(series []float64, steady float64) float64 {
+		target := amb + 0.632*(steady-amb)
+		for i, v := range series {
+			if v >= target {
+				return res.Times[i]
+			}
+		}
+		return math.NaN()
+	}
+	res.Tau63Compact = tau(res.CompactK, res.SteadyCompactK)
+	res.Tau63Reference = tau(res.ReferenceK, res.SteadyReferenceK)
+	for i := range res.Times {
+		if d := math.Abs(res.CompactK[i] - res.ReferenceK[i]); d > res.MaxDeviationK {
+			res.MaxDeviationK = d
+		}
+	}
+	return res, nil
+}
+
+func (r *Fig2Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 2 — transient validation: modified compact model vs fine-grid reference\n")
+	fmt.Fprintf(&sb, "R_conv = %.3f K/W (paper: ≈1.0 K/W)\n", r.RconvKperW)
+	fmt.Fprintf(&sb, "steady state: compact %.1f K, reference %.1f K\n", r.SteadyCompactK, r.SteadyReferenceK)
+	fmt.Fprintf(&sb, "tau(63%%): compact %.2f s, reference %.2f s (paper: order of a second)\n", r.Tau63Compact, r.Tau63Reference)
+	fmt.Fprintf(&sb, "max deviation over the step: %.1f K\n", r.MaxDeviationK)
+	rows := make([][]string, 0, 12)
+	stride := len(r.Times) / 10
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; i < len(r.Times); i += stride {
+		rows = append(rows, []string{f2(r.Times[i]), f1(r.CompactK[i]), f1(r.ReferenceK[i])})
+	}
+	sb.WriteString(table([]string{"t(s)", "compact(K)", "reference(K)"}, rows))
+	return sb.String()
+}
+
+// Fig3Result compares steady-state Tmax/Tmin/dT for the 2×2 mm 10 W center
+// source (the paper's Fig. 3).
+type Fig3Result struct {
+	CompactMaxK, CompactMinK, CompactDT       float64
+	ReferenceMaxK, ReferenceMinK, ReferenceDT float64
+}
+
+// Fig3SteadyValidation runs the §3.2 steady-state validation.
+func Fig3SteadyValidation(opt Options) (*Fig3Result, error) {
+	const (
+		side  = 0.020
+		thick = 0.5e-3
+		amb   = 300.0
+	)
+	grid := 40
+	compactGrid := 20
+	if opt.Quick {
+		grid, compactGrid = 20, 10
+	}
+	// The compact model runs on a gridded floorplan (HotSpot block mode
+	// with a fine block tiling approaches the reference discretization);
+	// the 2×2 mm source is the center cells.
+	fp := floorplan.GridDie(side, side, compactGrid, compactGrid)
+	compact, err := hotspot.New(hotspot.Config{
+		Floorplan: fp, DieThickness: thick, AmbientK: amb,
+		Package: hotspot.OilSilicon,
+		Oil:     hotspot.OilConfig{Direction: hotspot.Uniform},
+		// A fine uniform tiling needs no constriction correction: each
+		// cell is comparable to the die thickness.
+		LateralConstriction: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Spread the 10 W over cells whose centers fall inside the source.
+	var hotCells []string
+	for _, b := range fp.Blocks {
+		cx, cy := b.CenterX(), b.CenterY()
+		if cx >= 0.009 && cx < 0.011 && cy >= 0.009 && cy < 0.011 {
+			hotCells = append(hotCells, b.Name)
+		}
+	}
+	if len(hotCells) == 0 {
+		return nil, fmt.Errorf("fig3: compact grid too coarse for the source")
+	}
+	pm := map[string]float64{}
+	for _, n := range hotCells {
+		pm[n] = 10.0 / float64(len(hotCells))
+	}
+	pvec, err := compact.PowerVector(pm)
+	if err != nil {
+		return nil, err
+	}
+	cres := compact.SteadyState(pvec)
+	_, cmax := cres.Hottest()
+	_, cmin := cres.Coolest()
+
+	ref, err := refsolver.New(refsolver.Config{
+		Width: side, Height: side, Thickness: thick,
+		NX: grid, NY: grid, NZ: 4, AmbientK: amb,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if n := ref.AddRectPower(10, 0.009, 0.009, 0.002, 0.002); n == 0 {
+		return nil, fmt.Errorf("fig3: grid too coarse for the hot source")
+	}
+	field, err := ref.Steady()
+	if err != nil {
+		return nil, err
+	}
+	rmax, rmin, rdT := ref.ActiveLayerStats(field)
+
+	return &Fig3Result{
+		CompactMaxK: materials.CToK(cmax), CompactMinK: materials.CToK(cmin), CompactDT: cmax - cmin,
+		ReferenceMaxK: rmax, ReferenceMinK: rmin, ReferenceDT: rdT,
+	}, nil
+}
+
+func (r *Fig3Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 3 — steady-state validation: 2×2 mm, 10 W center source\n")
+	sb.WriteString(table(
+		[]string{"metric", "compact", "reference"},
+		[][]string{
+			{"Tmax (K)", f1(r.CompactMaxK), f1(r.ReferenceMaxK)},
+			{"Tmin (K)", f1(r.CompactMinK), f1(r.ReferenceMinK)},
+			{"dT (K)", f1(r.CompactDT), f1(r.ReferenceDT)},
+		}))
+	return sb.String()
+}

@@ -1,0 +1,80 @@
+package hotspot_test
+
+import (
+	"fmt"
+
+	"repro/internal/floorplan"
+	"repro/internal/hotspot"
+)
+
+// ExampleNew builds the two cooling configurations the paper contrasts and
+// compares their steady states at the same overall convection resistance.
+func ExampleNew() {
+	fp := floorplan.EV6()
+	power := map[string]float64{"Dcache": 16.0} // ≈2 W/mm²
+
+	oil, err := hotspot.New(hotspot.Config{
+		Floorplan: fp,
+		Package:   hotspot.OilSilicon,
+		AmbientK:  295.15, // 22 °C
+		Oil:       hotspot.OilConfig{TargetRconv: 1.0},
+	})
+	if err != nil {
+		panic(err)
+	}
+	air, err := hotspot.New(hotspot.Config{
+		Floorplan: fp,
+		Package:   hotspot.AirSink,
+		AmbientK:  295.15,
+		Air:       hotspot.AirSinkConfig{RConvec: 1.0},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range []*hotspot.Model{oil, air} {
+		vec, err := m.PowerVector(power)
+		if err != nil {
+			panic(err)
+		}
+		res := m.SteadyState(vec)
+		name, _ := res.Hottest()
+		fmt.Printf("%s: hottest block %s, R_conv %.2f K/W\n",
+			m.Config().Package, name, m.RconvEffective())
+	}
+	// Output:
+	// OIL-SILICON: hottest block Dcache, R_conv 1.00 K/W
+	// AIR-SINK: hottest block Dcache, R_conv 1.00 K/W
+}
+
+// ExampleModel_RunTrace drives a model with a time-varying power schedule.
+func ExampleModel_RunTrace() {
+	fp := floorplan.UniformDie("die", 0.02, 0.02)
+	m, err := hotspot.New(hotspot.Config{
+		Floorplan: fp,
+		Package:   hotspot.OilSilicon,
+		AmbientK:  300,
+	})
+	if err != nil {
+		panic(err)
+	}
+	state := m.AmbientState()
+	pts, err := m.RunTrace(state, func(t float64, p []float64) {
+		if t < 0.5 {
+			p[0] = 100 // watts for the first half second
+		} else {
+			p[0] = 0
+		}
+	}, 1.0, 0.25)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range pts {
+		fmt.Printf("t=%.2fs rise=%.0fK\n", p.Time, p.BlockC[0]-26.85)
+	}
+	// Output:
+	// t=0.00s rise=0K
+	// t=0.25s rise=41K
+	// t=0.50s rise=65K
+	// t=0.75s rise=40K
+	// t=1.00s rise=25K
+}

@@ -1,0 +1,225 @@
+package hotspot
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/floorplan"
+)
+
+// TestThermalReciprocity checks the reciprocity theorem for resistive
+// networks: the temperature rise at block i per watt injected at block j
+// equals the rise at j per watt at i. This must hold exactly for any
+// package because the conductance matrix is symmetric.
+func TestThermalReciprocity(t *testing.T) {
+	fp := floorplan.EV6()
+	for _, m := range []*Model{
+		oilModel(t, fp, LeftToRight, 0, true),
+		airModel(t, fp, 0.5, false),
+	} {
+		amb := m.Config().AmbientK
+		riseAt := func(src, probe string) float64 {
+			p, err := m.PowerVector(map[string]float64{src: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m.SteadyState(p).BlockK(probe) - amb
+		}
+		pairs := [][2]string{{"IntReg", "L2"}, {"Dcache", "FPMap"}, {"Icache", "IntExec"}}
+		for _, pr := range pairs {
+			a := riseAt(pr[0], pr[1])
+			b := riseAt(pr[1], pr[0])
+			if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+				t.Fatalf("%v reciprocity violated: %g vs %g", pr, a, b)
+			}
+		}
+	}
+}
+
+// TestSuperposition checks linearity: the response to a sum of power maps is
+// the sum of the responses.
+func TestSuperposition(t *testing.T) {
+	fp := floorplan.EV6()
+	m := oilModel(t, fp, TopToBottom, 1.0, false)
+	amb := m.Config().AmbientK
+	p1, err := m.PowerVector(map[string]float64{"IntReg": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := m.PowerVector(map[string]float64{"L2": 5, "Dcache": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := make([]float64, len(p1))
+	for i := range sum {
+		sum[i] = p1[i] + p2[i]
+	}
+	r1 := m.SteadyState(p1).Temps
+	r2 := m.SteadyState(p2).Temps
+	rs := m.SteadyState(sum).Temps
+	for i := range rs {
+		want := (r1[i] - amb) + (r2[i] - amb) + amb
+		if math.Abs(rs[i]-want) > 1e-8 {
+			t.Fatalf("superposition violated at node %d: %g vs %g", i, rs[i], want)
+		}
+	}
+}
+
+// TestAmbientShiftInvariance checks that temperature *rise* does not depend
+// on the ambient (pure offset).
+func TestAmbientShiftInvariance(t *testing.T) {
+	fp := floorplan.EV6()
+	build := func(amb float64) *Model {
+		m, err := New(Config{
+			Floorplan: fp, AmbientK: amb,
+			Package: OilSilicon, Oil: OilConfig{Direction: LeftToRight},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	power := map[string]float64{"IntReg": 2, "L2": 4}
+	m1 := build(300)
+	m2 := build(330)
+	p1, _ := m1.PowerVector(power)
+	p2, _ := m2.PowerVector(power)
+	r1 := m1.SteadyState(p1)
+	r2 := m2.SteadyState(p2)
+	for _, b := range fp.Names() {
+		rise1 := r1.BlockK(b) - 300
+		rise2 := r2.BlockK(b) - 330
+		if math.Abs(rise1-rise2) > 1e-9 {
+			t.Fatalf("rise at %s depends on ambient: %g vs %g", b, rise1, rise2)
+		}
+	}
+}
+
+// TestEnergyConservationAcrossPackages: at steady state the total heat
+// flowing to ambient equals the injected power, for every package and
+// direction.
+func TestEnergyConservationAcrossPackages(t *testing.T) {
+	fp := floorplan.Athlon()
+	powers := floorplan.AthlonPowers()
+	var total float64
+	for _, w := range powers {
+		total += w
+	}
+	configs := []Config{
+		{Floorplan: fp, Package: OilSilicon, Oil: OilConfig{Direction: LeftToRight}, Secondary: SecondaryPathConfig{Enabled: true}},
+		{Floorplan: fp, Package: OilSilicon, Oil: OilConfig{Direction: TopToBottom}},
+		{Floorplan: fp, Package: AirSink, Secondary: SecondaryPathConfig{Enabled: true}},
+		{Floorplan: fp, Package: AirSink, Air: AirSinkConfig{RConvec: 0.1}},
+	}
+	for i, cfg := range configs {
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		p, err := m.PowerVector(powers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := m.SteadyState(p)
+		var out float64
+		for _, q := range m.solver.HeatFlowToAmbient(res.Temps) {
+			out += q
+		}
+		if math.Abs(out-total) > 1e-6*total {
+			t.Fatalf("config %d: energy not conserved: in %.4f W out %.4f W", i, total, out)
+		}
+	}
+}
+
+// TestMonotoneInRconv: lowering the convection resistance can only lower
+// steady-state temperatures.
+func TestMonotoneInRconv(t *testing.T) {
+	fp := floorplan.EV6()
+	power := map[string]float64{"IntReg": 2, "L2": 5}
+	prev := math.Inf(1)
+	for _, r := range []float64{2.0, 1.0, 0.5, 0.25} {
+		m := oilModel(t, fp, Uniform, r, false)
+		p, _ := m.PowerVector(power)
+		_, hot := m.SteadyState(p).Hottest()
+		if hot >= prev {
+			t.Fatalf("hot spot did not fall when R_conv dropped to %g: %g vs %g", r, hot, prev)
+		}
+		prev = hot
+	}
+}
+
+// Property: for random power assignments, directional models bracket the
+// same total heat and every block temperature stays between ambient and the
+// all-power-in-one-block worst case.
+func TestDirectionalModelsSane(t *testing.T) {
+	fp := floorplan.EV6()
+	models := make([]*Model, 0, 4)
+	for _, d := range Directions {
+		models = append(models, oilModel(t, fp, d, 1.0, false))
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		power := map[string]float64{}
+		for _, n := range fp.Names() {
+			if rng.Float64() < 0.3 {
+				power[n] = rng.Float64() * 3
+			}
+		}
+		for _, m := range models {
+			p, err := m.PowerVector(power)
+			if err != nil {
+				return false
+			}
+			res := m.SteadyState(p)
+			for _, v := range res.BlocksK() {
+				if v < m.Config().AmbientK-1e-9 || math.IsNaN(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLateralConstrictionKnob: larger constriction concentrates heat
+// (hotter hot spot), constriction=1 recovers the plain centroid model.
+func TestLateralConstrictionKnob(t *testing.T) {
+	fp := floorplan.EV6()
+	hotFor := func(c float64) float64 {
+		m, err := New(Config{
+			Floorplan: fp, Package: OilSilicon,
+			Oil:                 OilConfig{TargetRconv: 1.0},
+			LateralConstriction: c,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := m.PowerVector(map[string]float64{"IntReg": 2})
+		_, hot := m.SteadyState(p).Hottest()
+		return hot
+	}
+	h1, h3, h6 := hotFor(1), hotFor(3), hotFor(6)
+	if !(h1 < h3 && h3 < h6) {
+		t.Fatalf("hot spot should grow with constriction: %g %g %g", h1, h3, h6)
+	}
+}
+
+// TestDominantTimeConstantOrdering: the oil network's slowest constant is
+// far below the air network's for the same floorplan (the §4.1.1 warm-up
+// asymmetry), for several R_conv values.
+func TestDominantTimeConstantOrdering(t *testing.T) {
+	fp := floorplan.EV6()
+	for _, r := range []float64{0.3, 1.0} {
+		oil := oilModel(t, fp, Uniform, r, false)
+		air := airModel(t, fp, r, false)
+		if oil.DominantTimeConstant() >= air.DominantTimeConstant()/20 {
+			t.Fatalf("R=%g: oil τ %.2f s not ≪ air τ %.2f s", r,
+				oil.DominantTimeConstant(), air.DominantTimeConstant())
+		}
+	}
+}

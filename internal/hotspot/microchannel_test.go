@@ -1,0 +1,106 @@
+package hotspot
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+func microModel(t *testing.T, fp *floorplan.Floorplan) *Model {
+	t.Helper()
+	m, err := New(Config{Floorplan: fp, Package: Microchannel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMicrochannelHeatTransferCoeff(t *testing.T) {
+	mc := MicrochannelConfig{}.defaulted()
+	h := mc.HeatTransferCoeff()
+	// Water microchannels reach effective h of order 10^4-10^5 W/m²K —
+	// orders of magnitude above the oil flat-plate flow.
+	if h < 1e4 || h > 1e6 {
+		t.Fatalf("microchannel h = %g W/m²K outside the expected range", h)
+	}
+}
+
+func TestMicrochannelFarCoolerThanOil(t *testing.T) {
+	fp := floorplan.EV6()
+	micro := microModel(t, fp)
+	oil := oilModel(t, fp, Uniform, 0, false)
+	if micro.RconvEffective() >= oil.RconvEffective()/10 {
+		t.Fatalf("microchannel R_conv %g should be ≪ oil %g", micro.RconvEffective(), oil.RconvEffective())
+	}
+	power := map[string]float64{"IntReg": 2, "L2": 6}
+	pm, _ := micro.PowerVector(power)
+	po, _ := oil.PowerVector(power)
+	_, hotMicro := micro.SteadyState(pm).Hottest()
+	_, hotOil := oil.SteadyState(po).Hottest()
+	if hotMicro >= hotOil {
+		t.Fatalf("microchannel hot spot %g should undercut oil %g", hotMicro, hotOil)
+	}
+}
+
+func TestMicrochannelNoDirectionality(t *testing.T) {
+	// Fully developed laminar channel flow has position-independent h, so
+	// every block gets the same coefficient (contrast with Fig. 11).
+	m := microModel(t, floorplan.EV6())
+	hs := m.BlockH()
+	if hs == nil {
+		t.Fatal("microchannel should expose per-block h")
+	}
+	for i := 1; i < len(hs); i++ {
+		if math.Abs(hs[i]-hs[0]) > 1e-9 {
+			t.Fatalf("h should be uniform: %g vs %g", hs[i], hs[0])
+		}
+	}
+}
+
+func TestMicrochannelEnergyConservation(t *testing.T) {
+	m := microModel(t, floorplan.EV6())
+	p, err := m.PowerVector(map[string]float64{"IntReg": 2, "Dcache": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.SteadyState(p)
+	var out float64
+	for _, q := range m.solver.HeatFlowToAmbient(res.Temps) {
+		out += q
+	}
+	if math.Abs(out-5) > 1e-8 {
+		t.Fatalf("energy not conserved: %g W out of 5 W", out)
+	}
+}
+
+func TestMicrochannelValidation(t *testing.T) {
+	if _, err := New(Config{
+		Floorplan: floorplan.EV6(),
+		Package:   Microchannel,
+		Micro:     MicrochannelConfig{ChannelWidth: -1, ChannelDepth: 1e-4, WallWidth: 1e-4},
+	}); err == nil {
+		t.Fatal("negative channel width should fail")
+	}
+}
+
+func TestMicrochannelFastTransient(t *testing.T) {
+	// Tiny coolant capacitance + very low R ⇒ much faster time constant
+	// than either paper configuration.
+	fp := floorplan.EV6()
+	micro := microModel(t, fp)
+	air := airModel(t, fp, 0.3, false)
+	if micro.DominantTimeConstant() >= air.DominantTimeConstant()/100 {
+		t.Fatalf("microchannel τ %g should be ≪ air τ %g",
+			micro.DominantTimeConstant(), air.DominantTimeConstant())
+	}
+}
+
+func TestPackageKindString(t *testing.T) {
+	if Microchannel.String() != "MICROCHANNEL" || AirSink.String() != "AIR-SINK" {
+		t.Fatal("PackageKind strings wrong")
+	}
+	if PackageKind(99).String() == "" {
+		t.Fatal("unknown kind should still format")
+	}
+}

@@ -1,0 +1,238 @@
+// Package ircam models "what the IR camera actually sees": a frame-rate-
+// limited, optically blurred sampler of the die temperature field, plus the
+// temperature-to-power reverse engineering (least-squares inversion through
+// the thermal model's influence matrix) used by Hamann et al. and
+// Mesa-Martinez et al. and discussed in the paper's §5.4 — including the
+// artifact that ignoring the oil flow direction skews the recovered powers.
+package ircam
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hotspot"
+	"repro/internal/linalg"
+	"repro/internal/sensors"
+)
+
+// Camera describes an IR thermal camera.
+type Camera struct {
+	// FrameRate is frames per second (typical lab cameras: 60-200 Hz; the
+	// paper notes 3 ms transients are "typically shorter than IR camera's
+	// sampling interval").
+	FrameRate float64
+	// PixelsX, PixelsY is the sensor resolution mapped onto the die.
+	PixelsX, PixelsY int
+	// PSFSigmaPixels is the optical point-spread Gaussian sigma in pixels.
+	PSFSigmaPixels float64
+}
+
+// Validate reports configuration errors.
+func (c Camera) Validate() error {
+	if c.FrameRate <= 0 {
+		return fmt.Errorf("ircam: non-positive frame rate %g", c.FrameRate)
+	}
+	if c.PixelsX <= 0 || c.PixelsY <= 0 {
+		return fmt.Errorf("ircam: non-positive resolution %d×%d", c.PixelsX, c.PixelsY)
+	}
+	if c.PSFSigmaPixels < 0 {
+		return fmt.Errorf("ircam: negative PSF sigma")
+	}
+	return nil
+}
+
+// Capture images a die thermal map: resample to the camera resolution and
+// apply the optical PSF.
+func (c Camera) Capture(m *sensors.ThermalMap) (*sensors.ThermalMap, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	// Resample by area-averaging source cells into camera pixels.
+	px := make([]float64, c.PixelsX*c.PixelsY)
+	cnt := make([]int, len(px))
+	for iy := 0; iy < m.NY; iy++ {
+		for ix := 0; ix < m.NX; ix++ {
+			cx := ix * c.PixelsX / m.NX
+			cy := iy * c.PixelsY / m.NY
+			px[cy*c.PixelsX+cx] += m.CellsC[iy*m.NX+ix]
+			cnt[cy*c.PixelsX+cx]++
+		}
+	}
+	for i := range px {
+		if cnt[i] > 0 {
+			px[i] /= float64(cnt[i])
+		}
+	}
+	// Upsampling case: fill empty pixels by nearest source cell.
+	for iy := 0; iy < c.PixelsY; iy++ {
+		for ix := 0; ix < c.PixelsX; ix++ {
+			if cnt[iy*c.PixelsX+ix] == 0 {
+				sx := ix * m.NX / c.PixelsX
+				sy := iy * m.NY / c.PixelsY
+				px[iy*c.PixelsX+ix] = m.CellsC[sy*m.NX+sx]
+			}
+		}
+	}
+	if c.PSFSigmaPixels > 0 {
+		px = gaussianBlur(px, c.PixelsX, c.PixelsY, c.PSFSigmaPixels)
+	}
+	return sensors.NewThermalMap(c.PixelsX, c.PixelsY, m.Width, m.Height, px)
+}
+
+// gaussianBlur applies a separable Gaussian filter.
+func gaussianBlur(src []float64, nx, ny int, sigma float64) []float64 {
+	radius := int(math.Ceil(3 * sigma))
+	if radius < 1 {
+		return src
+	}
+	kernel := make([]float64, 2*radius+1)
+	var sum float64
+	for i := range kernel {
+		d := float64(i - radius)
+		kernel[i] = math.Exp(-d * d / (2 * sigma * sigma))
+		sum += kernel[i]
+	}
+	for i := range kernel {
+		kernel[i] /= sum
+	}
+	tmp := make([]float64, len(src))
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			var acc float64
+			for k := -radius; k <= radius; k++ {
+				x := clampInt(ix+k, 0, nx-1)
+				acc += kernel[k+radius] * src[iy*nx+x]
+			}
+			tmp[iy*nx+ix] = acc
+		}
+	}
+	out := make([]float64, len(src))
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			var acc float64
+			for k := -radius; k <= radius; k++ {
+				y := clampInt(iy+k, 0, ny-1)
+				acc += kernel[k+radius] * tmp[y*nx+ix]
+			}
+			out[iy*nx+ix] = acc
+		}
+	}
+	return out
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Frame is one camera observation of per-block temperatures.
+type Frame struct {
+	Time   float64
+	BlockC []float64
+}
+
+// FilmTrace decimates a fine-grained temperature trace to the camera frame
+// rate: the camera sees only the instants at k/FrameRate. This is the §5.1
+// observation that "the limited sampling rate of the IR camera may filter
+// out high-frequency transient thermal fluctuations and miss thermal
+// violations".
+func (c Camera) FilmTrace(points []hotspot.TracePoint) ([]Frame, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("ircam: empty trace")
+	}
+	period := 1 / c.FrameRate
+	var out []Frame
+	next := points[0].Time
+	for _, p := range points {
+		if p.Time >= next-1e-15 {
+			out = append(out, Frame{Time: p.Time, BlockC: p.BlockC})
+			next += period
+		}
+	}
+	return out, nil
+}
+
+// PeakSeen returns the maximum temperature of the named block index across
+// frames.
+func PeakSeen(frames []Frame, blockIdx int) float64 {
+	peak := math.Inf(-1)
+	for _, f := range frames {
+		if f.BlockC[blockIdx] > peak {
+			peak = f.BlockC[blockIdx]
+		}
+	}
+	return peak
+}
+
+// TruePeak returns the maximum temperature of the block across the full
+// trace.
+func TruePeak(points []hotspot.TracePoint, blockIdx int) float64 {
+	peak := math.Inf(-1)
+	for _, p := range points {
+		if p.BlockC[blockIdx] > peak {
+			peak = p.BlockC[blockIdx]
+		}
+	}
+	return peak
+}
+
+// InfluenceMatrix builds A with A[i][j] = steady-state temperature rise (K)
+// of block i per watt in block j, by N steady solves of the model. This is
+// the forward operator for power inversion.
+func InfluenceMatrix(m *hotspot.Model) *linalg.Matrix {
+	fp := m.Floorplan()
+	n := fp.N()
+	a := linalg.NewMatrix(n, n)
+	amb := m.Config().AmbientK
+	for j := 0; j < n; j++ {
+		p := make([]float64, n)
+		p[j] = 1
+		vec, err := m.BlockPowerVector(p)
+		if err != nil {
+			panic(err) // unreachable: p is well-formed by construction
+		}
+		res := m.SteadyState(vec)
+		temps := res.BlocksK()
+		for i := 0; i < n; i++ {
+			a.Set(i, j, temps[i]-amb)
+		}
+	}
+	return a
+}
+
+// InvertPower reverse-engineers per-block power (W) from an observed
+// steady-state per-block temperature map (°C) using the given model's
+// influence matrix: solve min‖A·p − ΔT‖ with Tikhonov regularization and
+// clamp negatives to zero. Passing a model whose flow assumptions differ
+// from the measurement conditions produces the systematic skew the paper
+// warns about.
+func InvertPower(assumed *hotspot.Model, observedBlockC []float64, lambda float64) ([]float64, error) {
+	fp := assumed.Floorplan()
+	if len(observedBlockC) != fp.N() {
+		return nil, fmt.Errorf("ircam: observed %d blocks, floorplan has %d", len(observedBlockC), fp.N())
+	}
+	a := InfluenceMatrix(assumed)
+	ambC := assumed.Config().AmbientK - 273.15
+	dT := make([]float64, fp.N())
+	for i, v := range observedBlockC {
+		dT[i] = v - ambC
+	}
+	p, err := linalg.LeastSquares(a, dT, lambda)
+	if err != nil {
+		return nil, err
+	}
+	for i := range p {
+		if p[i] < 0 {
+			p[i] = 0
+		}
+	}
+	return p, nil
+}

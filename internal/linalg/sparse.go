@@ -1,0 +1,301 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Coord is a coordinate-format sparse entry used while assembling a system.
+type Coord struct {
+	I, J int
+	V    float64
+}
+
+// CSR is a compressed-sparse-row matrix. It is the storage used by the
+// finite-volume reference solver, whose conduction matrices are symmetric
+// positive definite but far too large for dense factorization.
+type CSR struct {
+	N      int // square dimension
+	RowPtr []int
+	ColIdx []int
+	Values []float64
+}
+
+// NewCSR assembles a CSR matrix from coordinate entries. Duplicate (i, j)
+// entries are summed, which makes finite-volume assembly trivial.
+func NewCSR(n int, entries []Coord) *CSR {
+	for _, e := range entries {
+		if e.I < 0 || e.I >= n || e.J < 0 || e.J >= n {
+			panic(fmt.Sprintf("linalg: CSR entry (%d,%d) out of range for n=%d", e.I, e.J, n))
+		}
+	}
+	sorted := make([]Coord, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].I != sorted[b].I {
+			return sorted[a].I < sorted[b].I
+		}
+		return sorted[a].J < sorted[b].J
+	})
+	m := &CSR{N: n, RowPtr: make([]int, n+1)}
+	for k := 0; k < len(sorted); {
+		i, j := sorted[k].I, sorted[k].J
+		v := 0.0
+		for k < len(sorted) && sorted[k].I == i && sorted[k].J == j {
+			v += sorted[k].V
+			k++
+		}
+		if v != 0 {
+			m.ColIdx = append(m.ColIdx, j)
+			m.Values = append(m.Values, v)
+			m.RowPtr[i+1] = len(m.ColIdx)
+		}
+	}
+	// Fill row pointers for empty rows.
+	for i := 1; i <= n; i++ {
+		if m.RowPtr[i] < m.RowPtr[i-1] {
+			m.RowPtr[i] = m.RowPtr[i-1]
+		}
+	}
+	return m
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.Values) }
+
+// MulVec computes y = A·x into the provided destination (allocated if nil).
+func (m *CSR) MulVec(x, dst []float64) []float64 {
+	if len(x) != m.N {
+		panic("linalg: CSR.MulVec dimension mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, m.N)
+	}
+	for i := 0; i < m.N; i++ {
+		var s float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Values[k] * x[m.ColIdx[k]]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// Diagonal extracts the diagonal of the matrix (zeros where absent).
+func (m *CSR) Diagonal() []float64 {
+	d := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if m.ColIdx[k] == i {
+				d[i] = m.Values[k]
+				break
+			}
+		}
+	}
+	return d
+}
+
+// CGOptions control the conjugate-gradient solver.
+type CGOptions struct {
+	Tol     float64 // relative residual tolerance (default 1e-9)
+	MaxIter int     // default 10·N
+}
+
+// CGResult reports convergence information from SolveCG.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final relative residual
+	Converged  bool
+}
+
+// SolveCG solves A·x = b for symmetric positive-definite A using a
+// Jacobi-preconditioned conjugate gradient iteration. x0 may be nil for a
+// zero initial guess.
+func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, CGResult) {
+	n := a.N
+	if len(b) != n {
+		panic("linalg: SolveCG dimension mismatch")
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-9
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 10 * n
+	}
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	d := a.Diagonal()
+	inv := make([]float64, n)
+	for i, v := range d {
+		if v == 0 {
+			inv[i] = 1
+		} else {
+			inv[i] = 1 / v
+		}
+	}
+	r := make([]float64, n)
+	ax := a.MulVec(x, nil)
+	for i := range r {
+		r[i] = b[i] - ax[i]
+	}
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = inv[i] * r[i]
+	}
+	p := make([]float64, n)
+	copy(p, z)
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	if rn := Norm2(r) / bnorm; rn < opt.Tol {
+		return x, CGResult{Iterations: 0, Residual: rn, Converged: true}
+	}
+	rz := Dot(r, z)
+	ap := make([]float64, n)
+	var res CGResult
+	for it := 0; it < opt.MaxIter; it++ {
+		a.MulVec(p, ap)
+		pap := Dot(p, ap)
+		if pap == 0 {
+			break
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rn := Norm2(r) / bnorm
+		res.Iterations = it + 1
+		res.Residual = rn
+		if rn < opt.Tol {
+			res.Converged = true
+			return x, res
+		}
+		for i := range z {
+			z[i] = inv[i] * r[i]
+		}
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return x, res
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot dimension mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// NormInf returns the max-abs norm of v.
+func NormInf(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// AXPY computes y ← y + alpha·x in place.
+func AXPY(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: AXPY dimension mismatch")
+	}
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies every element of v by alpha in place.
+func Scale(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Fill sets every element of v to x.
+func Fill(v []float64, x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// MaxIdx returns the index and value of the largest element of v.
+// It panics on an empty slice.
+func MaxIdx(v []float64) (int, float64) {
+	if len(v) == 0 {
+		panic("linalg: MaxIdx on empty slice")
+	}
+	bi, bv := 0, v[0]
+	for i, x := range v {
+		if x > bv {
+			bi, bv = i, x
+		}
+	}
+	return bi, bv
+}
+
+// MinIdx returns the index and value of the smallest element of v.
+// It panics on an empty slice.
+func MinIdx(v []float64) (int, float64) {
+	if len(v) == 0 {
+		panic("linalg: MinIdx on empty slice")
+	}
+	bi, bv := 0, v[0]
+	for i, x := range v {
+		if x < bv {
+			bi, bv = i, x
+		}
+	}
+	return bi, bv
+}
+
+// Tridiagonal solves a tridiagonal system with the Thomas algorithm.
+// a is the sub-diagonal (a[0] unused), b the diagonal, c the super-diagonal
+// (c[n-1] unused), d the right-hand side. All slices must have length n.
+// The inputs are not modified.
+func Tridiagonal(a, b, c, d []float64) ([]float64, error) {
+	n := len(b)
+	if len(a) != n || len(c) != n || len(d) != n {
+		return nil, fmt.Errorf("linalg: Tridiagonal needs equal-length slices")
+	}
+	cp := make([]float64, n)
+	dp := make([]float64, n)
+	if b[0] == 0 {
+		return nil, ErrSingular
+	}
+	cp[0] = c[0] / b[0]
+	dp[0] = d[0] / b[0]
+	for i := 1; i < n; i++ {
+		den := b[i] - a[i]*cp[i-1]
+		if den == 0 {
+			return nil, ErrSingular
+		}
+		cp[i] = c[i] / den
+		dp[i] = (d[i] - a[i]*dp[i-1]) / den
+	}
+	x := make([]float64, n)
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+	return x, nil
+}

@@ -1,0 +1,222 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCSRAssemblyDuplicates(t *testing.T) {
+	m := NewCSR(2, []Coord{{0, 0, 1}, {0, 0, 2}, {1, 1, 5}, {0, 1, -1}})
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ=%d want 3", m.NNZ())
+	}
+	y := m.MulVec([]float64{1, 1}, nil)
+	if y[0] != 2 || y[1] != 5 {
+		t.Fatalf("MulVec got %v", y)
+	}
+}
+
+func TestCSRDiagonal(t *testing.T) {
+	m := NewCSR(3, []Coord{{0, 0, 2}, {1, 2, 7}, {2, 2, -4}})
+	d := m.Diagonal()
+	if d[0] != 2 || d[1] != 0 || d[2] != -4 {
+		t.Fatalf("Diagonal got %v", d)
+	}
+}
+
+// laplacian1D builds the standard SPD tridiagonal Poisson matrix.
+func laplacian1D(n int) *CSR {
+	var e []Coord
+	for i := 0; i < n; i++ {
+		e = append(e, Coord{i, i, 2})
+		if i > 0 {
+			e = append(e, Coord{i, i - 1, -1})
+		}
+		if i < n-1 {
+			e = append(e, Coord{i, i + 1, -1})
+		}
+	}
+	return NewCSR(n, e)
+}
+
+func TestCGSolvesLaplacian(t *testing.T) {
+	n := 100
+	a := laplacian1D(n)
+	truth := make([]float64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range truth {
+		truth[i] = rng.NormFloat64()
+	}
+	b := a.MulVec(truth, nil)
+	x, res := SolveCG(a, b, nil, CGOptions{Tol: 1e-12})
+	if !res.Converged {
+		t.Fatalf("CG did not converge: %+v", res)
+	}
+	for i := range truth {
+		if math.Abs(x[i]-truth[i]) > 1e-6 {
+			t.Fatalf("CG x[%d]=%g want %g", i, x[i], truth[i])
+		}
+	}
+}
+
+func TestCGWarmStart(t *testing.T) {
+	n := 50
+	a := laplacian1D(n)
+	b := make([]float64, n)
+	Fill(b, 1)
+	x1, r1 := SolveCG(a, b, nil, CGOptions{Tol: 1e-10})
+	// Warm start at the solution should converge immediately.
+	_, r2 := SolveCG(a, b, x1, CGOptions{Tol: 1e-10})
+	if !r2.Converged || r2.Iterations > 2 {
+		t.Fatalf("warm start took %d iterations (cold: %d)", r2.Iterations, r1.Iterations)
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	a := laplacian1D(10)
+	x, res := SolveCG(a, make([]float64, 10), nil, CGOptions{})
+	if NormInf(x) != 0 {
+		t.Fatalf("zero rhs should give zero solution, got %v", x)
+	}
+	_ = res
+}
+
+func TestTridiagonal(t *testing.T) {
+	// Same Poisson system solved two ways must agree.
+	n := 40
+	a := make([]float64, n)
+	bd := make([]float64, n)
+	c := make([]float64, n)
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		bd[i] = 2
+		if i > 0 {
+			a[i] = -1
+		}
+		if i < n-1 {
+			c[i] = -1
+		}
+		d[i] = float64(i%3) - 1
+	}
+	x, err := Tridiagonal(a, bd, c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xcg, res := SolveCG(laplacian1D(n), d, nil, CGOptions{Tol: 1e-13})
+	if !res.Converged {
+		t.Fatal("CG failed")
+	}
+	for i := range x {
+		if math.Abs(x[i]-xcg[i]) > 1e-7 {
+			t.Fatalf("tridiag vs CG mismatch at %d: %g vs %g", i, x[i], xcg[i])
+		}
+	}
+}
+
+func TestTridiagonalSingular(t *testing.T) {
+	if _, err := Tridiagonal([]float64{0, 0}, []float64{0, 1}, []float64{0, 0}, []float64{1, 1}); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	v := []float64{3, -4}
+	if Norm2(v) != 5 {
+		t.Fatalf("Norm2=%g", Norm2(v))
+	}
+	if NormInf(v) != 4 {
+		t.Fatalf("NormInf=%g", NormInf(v))
+	}
+	y := []float64{1, 1}
+	AXPY(2, v, y)
+	if y[0] != 7 || y[1] != -7 {
+		t.Fatalf("AXPY got %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 3.5 {
+		t.Fatalf("Scale got %v", y)
+	}
+	i, mx := MaxIdx([]float64{1, 9, 2})
+	if i != 1 || mx != 9 {
+		t.Fatalf("MaxIdx got %d %g", i, mx)
+	}
+	j, mn := MinIdx([]float64{1, 9, -2})
+	if j != 2 || mn != -2 {
+		t.Fatalf("MinIdx got %d %g", j, mn)
+	}
+}
+
+// Property: CSR MulVec agrees with a dense reference for random sparse
+// matrices.
+func TestCSRMulVecProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		var entries []Coord
+		dense := NewMatrix(n, n)
+		for k := 0; k < r.Intn(3*n+1); k++ {
+			i, j, v := r.Intn(n), r.Intn(n), r.NormFloat64()
+			entries = append(entries, Coord{i, j, v})
+			dense.Add(i, j, v)
+		}
+		m := NewCSR(n, entries)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		got := m.MulVec(x, nil)
+		want := dense.MulVec(x)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CG solution satisfies the residual tolerance for random SPD
+// (diagonally dominant) sparse systems.
+func TestCGProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		var entries []Coord
+		// Symmetric off-diagonals, strong diagonal.
+		for i := 0; i < n; i++ {
+			entries = append(entries, Coord{i, i, float64(n) + 1})
+		}
+		for k := 0; k < n; k++ {
+			i, j := r.Intn(n), r.Intn(n)
+			if i == j {
+				continue
+			}
+			v := r.Float64() - 0.5
+			entries = append(entries, Coord{i, j, v}, Coord{j, i, v})
+		}
+		a := NewCSR(n, entries)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, res := SolveCG(a, b, nil, CGOptions{Tol: 1e-10})
+		if !res.Converged {
+			return false
+		}
+		ax := a.MulVec(x, nil)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

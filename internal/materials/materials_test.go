@@ -1,0 +1,181 @@
+package materials
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The paper's validation setup: 10 m/s mineral oil over a 20 mm die.
+func paperFlow() LaminarFlow {
+	return LaminarFlow{Fluid: MineralOil, Velocity: 10, PlateLen: 0.020}
+}
+
+func TestPaperRconvAbout1KperW(t *testing.T) {
+	// §3.2/§4.1.2: "The equivalent convection thermal resistance is about
+	// 1.0K/W" (quoted precisely as 1.042 K/W later in the paper).
+	lf := paperFlow()
+	r := lf.ConvectionResistance(0.020 * 0.020)
+	if math.Abs(r-1.042) > 0.03 {
+		t.Fatalf("R_conv = %.4f K/W, want ≈ 1.042", r)
+	}
+}
+
+func TestPaperBoundaryLayerAbout100Microns(t *testing.T) {
+	// §4.1.2: "about 100 µm thick for a 10 m/s oil flow". Our property set
+	// gives the same order of magnitude.
+	d := paperFlow().BoundaryLayerThickness()
+	if d < 50e-6 || d > 400e-6 {
+		t.Fatalf("δt = %.3g m, want O(100 µm)", d)
+	}
+}
+
+func TestSiliconVerticalResistanceMatchesPaper(t *testing.T) {
+	// §4.1.2 quotes R_th,Si = 0.0125 K/W for the 20×20×0.5 mm die.
+	r := VerticalResistance(Silicon, 0.5e-3, 0.020*0.020)
+	if math.Abs(r-0.0125) > 1e-6 {
+		t.Fatalf("R_th,Si = %g, want 0.0125", r)
+	}
+}
+
+func TestOilCapacitanceSmallerThanSilicon(t *testing.T) {
+	// §4.1.2: the oil boundary layer's thermal capacitance is smaller even
+	// than that of the silicon die.
+	a := 0.020 * 0.020
+	cOil := paperFlow().ConvectionCapacitance(a)
+	cSi := SlabCapacitance(Silicon, 0.5e-3, a)
+	if cOil >= cSi {
+		t.Fatalf("C_oil = %g should be < C_si = %g", cOil, cSi)
+	}
+}
+
+func TestHeatsinkCapacitanceRatio(t *testing.T) {
+	// §4.1.2: heatsink thermal capacitance ~250× that of the die.
+	cSink := SlabCapacitance(Copper, 6.9e-3, 0.060*0.060)
+	cSi := SlabCapacitance(Silicon, 0.5e-3, 0.020*0.020)
+	ratio := cSink / cSi
+	if ratio < 150 || ratio > 400 {
+		t.Fatalf("C_sink/C_si = %.0f, want ≈ 250", ratio)
+	}
+}
+
+func TestAvgIsIntegralOfLocal(t *testing.T) {
+	// eq. 2 must be the length-average of eq. 8. Numerical quadrature of
+	// h(x) over (0, L] (excluding the integrable singularity) should agree.
+	lf := paperFlow()
+	n := 200000
+	dx := lf.PlateLen / float64(n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := (float64(i) + 0.5) * dx
+		sum += lf.LocalHeatTransferCoeff(x) * dx
+	}
+	avg := sum / lf.PlateLen
+	hl := lf.AvgHeatTransferCoeff()
+	if math.Abs(avg-hl)/hl > 1e-3 {
+		t.Fatalf("∫h(x)dx/L = %g vs h_L = %g", avg, hl)
+	}
+}
+
+func TestSpanCoeffFullPlateEqualsAvg(t *testing.T) {
+	lf := paperFlow()
+	got := lf.SpanHeatTransferCoeff(0, lf.PlateLen)
+	want := lf.AvgHeatTransferCoeff()
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("span [0,L] = %g, h_L = %g", got, want)
+	}
+}
+
+func TestSpanCoeffDecreasesDownstream(t *testing.T) {
+	// The leading edge is cooled best (paper §4.2): h over an upstream span
+	// exceeds h over an equal downstream span.
+	lf := paperFlow()
+	up := lf.SpanHeatTransferCoeff(0, 0.005)
+	down := lf.SpanHeatTransferCoeff(0.015, 0.020)
+	if up <= down {
+		t.Fatalf("upstream h = %g should exceed downstream h = %g", up, down)
+	}
+}
+
+// Property: the area-weighted composition of span coefficients over a
+// partition of the plate equals the full-plate coefficient.
+func TestSpanCoeffPartitionProperty(t *testing.T) {
+	lf := paperFlow()
+	f := func(cutRaw uint16) bool {
+		frac := 0.01 + 0.98*float64(cutRaw)/65535.0
+		cut := frac * lf.PlateLen
+		h1 := lf.SpanHeatTransferCoeff(0, cut)
+		h2 := lf.SpanHeatTransferCoeff(cut, lf.PlateLen)
+		combined := (h1*cut + h2*(lf.PlateLen-cut)) / lf.PlateLen
+		want := lf.AvgHeatTransferCoeff()
+		return math.Abs(combined-want)/want < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalCoeffLeadingEdgeInfinite(t *testing.T) {
+	if !math.IsInf(paperFlow().LocalHeatTransferCoeff(0), 1) {
+		t.Fatal("h(0) should be +Inf")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := paperFlow().Validate(); err != nil {
+		t.Fatalf("paper flow should be valid: %v", err)
+	}
+	bad := LaminarFlow{Fluid: MineralOil, Velocity: -1, PlateLen: 0.02}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative velocity should fail validation")
+	}
+	// Water-like low viscosity at high speed goes turbulent.
+	fast := LaminarFlow{Fluid: Fluid{Name: "thin", Conductivity: 0.6, Density: 1000, SpecificHeat: 4180, KinViscosity: 1e-6}, Velocity: 50, PlateLen: 0.02}
+	if err := fast.Validate(); err == nil {
+		t.Fatal("turbulent flow should fail validation")
+	}
+}
+
+func TestPrandtlConsistency(t *testing.T) {
+	pr := MineralOil.Prandtl()
+	want := MineralOil.KinViscosity * MineralOil.Density * MineralOil.SpecificHeat / MineralOil.Conductivity
+	if pr != want {
+		t.Fatalf("Prandtl inconsistent")
+	}
+	if pr < 100 || pr > 1200 {
+		t.Fatalf("mineral oil Pr = %g outside plausible range", pr)
+	}
+}
+
+func TestTemperatureConversions(t *testing.T) {
+	if CToK(45) != 318.15 {
+		t.Fatalf("CToK(45) = %g", CToK(45))
+	}
+	if math.Abs(KToC(CToK(123.4))-123.4) > 1e-12 {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestHigherVelocityLowersResistance(t *testing.T) {
+	a := 4e-4
+	slow := LaminarFlow{Fluid: MineralOil, Velocity: 2, PlateLen: 0.02}
+	fast := LaminarFlow{Fluid: MineralOil, Velocity: 20, PlateLen: 0.02}
+	if slow.ConvectionResistance(a) <= fast.ConvectionResistance(a) {
+		t.Fatal("faster flow must reduce R_conv")
+	}
+	// h ∝ sqrt(V): doubling V scales R by 1/sqrt(2).
+	r1 := LaminarFlow{Fluid: MineralOil, Velocity: 5, PlateLen: 0.02}.ConvectionResistance(a)
+	r2 := LaminarFlow{Fluid: MineralOil, Velocity: 10, PlateLen: 0.02}.ConvectionResistance(a)
+	if math.Abs(r1/r2-math.Sqrt2) > 1e-9 {
+		t.Fatalf("R scaling with velocity wrong: %g", r1/r2)
+	}
+}
+
+func TestSlabHelpersPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero area")
+		}
+	}()
+	VerticalResistance(Silicon, 1e-3, 0)
+}

@@ -1,0 +1,397 @@
+// Package rcnet models lumped thermal RC networks: nodes with heat
+// capacitances, thermal conductances between nodes, conductances to a fixed
+// ambient, and per-node power injection. It provides steady-state solves,
+// explicit (adaptive RK4) and implicit (backward Euler) transient
+// integration, and dominant-time-constant extraction.
+//
+// The electrical analogy follows the paper's Fig. 7: temperature ↔ voltage,
+// heat flow ↔ current, thermal resistance ↔ electrical resistance, heat
+// capacity ↔ capacitance, dissipated power ↔ current source, ambient ↔
+// ground at T_amb.
+package rcnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+	"repro/internal/ode"
+)
+
+// Network is a thermal RC network under construction. The zero value is not
+// usable; create one with New.
+type Network struct {
+	names   []string
+	byName  map[string]int
+	cap     []float64 // heat capacitance per node, J/K
+	ambG    []float64 // conductance to ambient per node, W/K
+	pairs   map[[2]int]float64
+	ambient float64 // ambient temperature, K
+}
+
+// New creates an empty network with the given ambient temperature (Kelvin).
+func New(ambient float64) *Network {
+	return &Network{
+		byName:  make(map[string]int),
+		pairs:   make(map[[2]int]float64),
+		ambient: ambient,
+	}
+}
+
+// Ambient returns the ambient temperature in Kelvin.
+func (n *Network) Ambient() float64 { return n.ambient }
+
+// N returns the number of nodes.
+func (n *Network) N() int { return len(n.names) }
+
+// AddNode adds a node with the given heat capacitance (J/K) and returns its
+// index. Capacitance must be positive: the transient solvers integrate every
+// node as a dynamic state. (Physically tiny layers get their physically tiny
+// capacitance, which the implicit integrator handles without trouble.)
+func (n *Network) AddNode(name string, capacitance float64) int {
+	if name == "" {
+		panic("rcnet: empty node name")
+	}
+	if _, dup := n.byName[name]; dup {
+		panic(fmt.Sprintf("rcnet: duplicate node %q", name))
+	}
+	if capacitance <= 0 || math.IsNaN(capacitance) {
+		panic(fmt.Sprintf("rcnet: node %q needs positive capacitance, got %g", name, capacitance))
+	}
+	idx := len(n.names)
+	n.names = append(n.names, name)
+	n.byName[name] = idx
+	n.cap = append(n.cap, capacitance)
+	n.ambG = append(n.ambG, 0)
+	return idx
+}
+
+// Index returns the index of the named node, or -1.
+func (n *Network) Index(name string) int {
+	if i, ok := n.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Name returns the name of node i.
+func (n *Network) Name(i int) string { return n.names[i] }
+
+// Capacitance returns the heat capacitance of node i (J/K).
+func (n *Network) Capacitance(i int) float64 { return n.cap[i] }
+
+// Connect adds a thermal conductance g = 1/R (W/K) between nodes i and j.
+// Repeated calls accumulate (parallel resistances).
+func (n *Network) Connect(i, j int, g float64) {
+	if i == j {
+		panic("rcnet: self connection")
+	}
+	if g <= 0 || math.IsInf(g, 0) || math.IsNaN(g) {
+		panic(fmt.Sprintf("rcnet: invalid conductance %g between %d and %d", g, i, j))
+	}
+	n.checkIndex(i)
+	n.checkIndex(j)
+	if i > j {
+		i, j = j, i
+	}
+	n.pairs[[2]int{i, j}] += g
+}
+
+// ConnectR is Connect expressed as a resistance (K/W).
+func (n *Network) ConnectR(i, j int, r float64) {
+	if r <= 0 {
+		panic(fmt.Sprintf("rcnet: invalid resistance %g", r))
+	}
+	n.Connect(i, j, 1/r)
+}
+
+// ConnectAmbient adds conductance g (W/K) from node i to the ambient.
+func (n *Network) ConnectAmbient(i int, g float64) {
+	if g <= 0 || math.IsInf(g, 0) || math.IsNaN(g) {
+		panic(fmt.Sprintf("rcnet: invalid ambient conductance %g at %d", g, i))
+	}
+	n.checkIndex(i)
+	n.ambG[i] += g
+}
+
+// ConnectAmbientR is ConnectAmbient expressed as a resistance (K/W).
+func (n *Network) ConnectAmbientR(i int, r float64) {
+	if r <= 0 {
+		panic(fmt.Sprintf("rcnet: invalid ambient resistance %g", r))
+	}
+	n.ConnectAmbient(i, 1/r)
+}
+
+func (n *Network) checkIndex(i int) {
+	if i < 0 || i >= len(n.names) {
+		panic(fmt.Sprintf("rcnet: node index %d out of range", i))
+	}
+}
+
+// Solver is an assembled network ready for simulation. It caches the dense
+// conductance matrix and its factorizations. Create with Compile; a Solver
+// must not outlive subsequent mutations of its Network.
+type Solver struct {
+	net *Network
+	// a is the conductance (Laplacian + ambient) matrix: a[i][i] holds the
+	// sum of all conductances incident to i, a[i][j] = -g(i,j).
+	a      *linalg.Matrix
+	lu     *linalg.LU
+	invCap []float64
+
+	// Backward-Euler cache, keyed by step size.
+	beStep float64
+	beLU   *linalg.LU
+}
+
+// Compile assembles the network into a solver. It verifies every node has a
+// path to ambient (otherwise the steady state is unbounded).
+func (n *Network) Compile() (*Solver, error) {
+	sz := n.N()
+	if sz == 0 {
+		return nil, fmt.Errorf("rcnet: empty network")
+	}
+	a := linalg.NewMatrix(sz, sz)
+	// Assemble in sorted pair order so floating-point accumulation (and
+	// therefore every downstream result) is deterministic across runs.
+	keys := make([][2]int, 0, len(n.pairs))
+	for ij := range n.pairs {
+		keys = append(keys, ij)
+	}
+	sort.Slice(keys, func(x, y int) bool {
+		if keys[x][0] != keys[y][0] {
+			return keys[x][0] < keys[y][0]
+		}
+		return keys[x][1] < keys[y][1]
+	})
+	for _, ij := range keys {
+		g := n.pairs[ij]
+		i, j := ij[0], ij[1]
+		a.Add(i, i, g)
+		a.Add(j, j, g)
+		a.Add(i, j, -g)
+		a.Add(j, i, -g)
+	}
+	for i, g := range n.ambG {
+		a.Add(i, i, g)
+	}
+	lu, err := linalg.FactorLU(a)
+	if err != nil {
+		return nil, fmt.Errorf("rcnet: network has no path to ambient (floating island): %w", err)
+	}
+	inv := make([]float64, sz)
+	for i, c := range n.cap {
+		inv[i] = 1 / c
+	}
+	return &Solver{net: n, a: a, lu: lu, invCap: inv}, nil
+}
+
+// Net returns the underlying network.
+func (s *Solver) Net() *Network { return s.net }
+
+// SteadyState returns the equilibrium temperatures (Kelvin) for constant
+// per-node power injection (W). power must have length N.
+func (s *Solver) SteadyState(power []float64) []float64 {
+	rhs := s.rhs(power)
+	return s.lu.Solve(rhs)
+}
+
+// rhs builds P + G_amb·T_amb.
+func (s *Solver) rhs(power []float64) []float64 {
+	if len(power) != s.net.N() {
+		panic(fmt.Sprintf("rcnet: power vector length %d, want %d", len(power), s.net.N()))
+	}
+	rhs := make([]float64, len(power))
+	for i := range rhs {
+		rhs[i] = power[i] + s.net.ambG[i]*s.net.ambient
+	}
+	return rhs
+}
+
+// AmbientVector returns temperatures all equal to the ambient, the usual
+// cold-start initial condition.
+func (s *Solver) AmbientVector() []float64 {
+	t := make([]float64, s.net.N())
+	linalg.Fill(t, s.net.ambient)
+	return t
+}
+
+// derivs computes dT/dt = C⁻¹ (P + G_amb·T_amb − A·T).
+func (s *Solver) derivs(power []float64) ode.Derivs {
+	return func(_ float64, temp, dst []float64) {
+		sz := s.net.N()
+		for i := 0; i < sz; i++ {
+			row := s.a.Row(i)
+			acc := power[i] + s.net.ambG[i]*s.net.ambient
+			for j, g := range row {
+				acc -= g * temp[j]
+			}
+			dst[i] = acc * s.invCap[i]
+		}
+	}
+}
+
+// TransientOptions configure transient integration.
+type TransientOptions struct {
+	// AbsTol is the adaptive-RK4 per-step tolerance in Kelvin
+	// (default 1e-4 K).
+	AbsTol float64
+	// MaxStep caps the integration step (0 = duration/16 initial,
+	// unlimited growth).
+	MaxStep float64
+}
+
+// Transient advances temp (in place) by duration seconds under constant
+// power using the adaptive RK4 integrator. Returns integrator statistics.
+func (s *Solver) Transient(temp, power []float64, duration float64, opt TransientOptions) (ode.Stats, error) {
+	if len(temp) != s.net.N() {
+		return ode.Stats{}, fmt.Errorf("rcnet: temperature vector length %d, want %d", len(temp), s.net.N())
+	}
+	aOpt := ode.AdaptiveOptions{AbsTol: opt.AbsTol}
+	if opt.MaxStep > 0 {
+		aOpt.InitialStep = opt.MaxStep
+	}
+	return ode.AdaptiveRK4(s.derivs(power), 0, temp, duration, aOpt)
+}
+
+// StepBE advances temp (in place) by one backward-Euler step of size dt
+// under constant power. Backward Euler is unconditionally stable, which
+// makes it the right integrator for the stiff networks that mix the tiny
+// oil-boundary-layer capacitance with the large heatsink capacitance. The
+// factorization of (C/dt + A) is cached across calls with the same dt.
+func (s *Solver) StepBE(temp, power []float64, dt float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("rcnet: non-positive step %g", dt)
+	}
+	if len(temp) != s.net.N() {
+		return fmt.Errorf("rcnet: temperature vector length %d, want %d", len(temp), s.net.N())
+	}
+	if s.beLU == nil || s.beStep != dt {
+		m := s.a.Clone()
+		for i := 0; i < m.Rows; i++ {
+			m.Add(i, i, s.net.cap[i]/dt)
+		}
+		lu, err := linalg.FactorLU(m)
+		if err != nil {
+			return fmt.Errorf("rcnet: backward Euler factorization: %w", err)
+		}
+		s.beLU = lu
+		s.beStep = dt
+	}
+	rhs := s.rhs(power)
+	for i := range rhs {
+		rhs[i] += s.net.cap[i] / dt * temp[i]
+	}
+	copy(temp, s.beLU.Solve(rhs))
+	return nil
+}
+
+// TransientBE advances temp by duration using fixed backward-Euler steps of
+// size dt (the final step is shortened to land on the end time).
+func (s *Solver) TransientBE(temp, power []float64, duration, dt float64) error {
+	if duration <= 0 {
+		return fmt.Errorf("rcnet: non-positive duration %g", duration)
+	}
+	t := 0.0
+	for t < duration-1e-15*duration {
+		step := dt
+		if step > duration-t {
+			step = duration - t
+		}
+		if err := s.StepBE(temp, power, step); err != nil {
+			return err
+		}
+		t += step
+	}
+	return nil
+}
+
+// Sample is one point of a recorded transient trace.
+type Sample struct {
+	Time float64
+	Temp []float64 // copy of all node temperatures, K
+}
+
+// TransientTrace integrates for duration under a time-varying power schedule
+// and records the state every sampleEvery seconds (plus the final state).
+// The schedule callback fills power for the interval beginning at time t; it
+// is invoked once per sample interval, so sampleEvery is also the power
+// update granularity (exactly how trace-driven HotSpot simulation works).
+func (s *Solver) TransientTrace(temp []float64, schedule func(t float64, power []float64), duration, sampleEvery float64) ([]Sample, error) {
+	if sampleEvery <= 0 || duration <= 0 {
+		return nil, fmt.Errorf("rcnet: invalid trace parameters duration=%g sample=%g", duration, sampleEvery)
+	}
+	power := make([]float64, s.net.N())
+	var out []Sample
+	record := func(t float64) {
+		cp := make([]float64, len(temp))
+		copy(cp, temp)
+		out = append(out, Sample{Time: t, Temp: cp})
+	}
+	record(0)
+	t := 0.0
+	for t < duration-1e-12*duration {
+		step := sampleEvery
+		if step > duration-t {
+			step = duration - t
+		}
+		schedule(t, power)
+		if err := s.StepBE(temp, power, step); err != nil {
+			return nil, err
+		}
+		t += step
+		record(t)
+	}
+	return out, nil
+}
+
+// DominantTimeConstant estimates the slowest thermal time constant of the
+// network (seconds) by power iteration on A⁻¹·C. This is the long-term
+// warmup constant discussed in §4.1.1 of the paper.
+func (s *Solver) DominantTimeConstant() float64 {
+	sz := s.net.N()
+	v := make([]float64, sz)
+	linalg.Fill(v, 1)
+	var lambda float64
+	for it := 0; it < 200; it++ {
+		// w = A⁻¹ C v
+		cv := make([]float64, sz)
+		for i := range cv {
+			cv[i] = s.net.cap[i] * v[i]
+		}
+		w := s.lu.Solve(cv)
+		norm := linalg.Norm2(w)
+		if norm == 0 {
+			return 0
+		}
+		linalg.Scale(1/norm, w)
+		newLambda := linalg.Dot(w, s.lu.Solve(scaleCopy(s.net.cap, w)))
+		if math.Abs(newLambda-lambda) < 1e-12*math.Abs(newLambda) {
+			return newLambda
+		}
+		lambda = newLambda
+		v = w
+	}
+	return lambda
+}
+
+func scaleCopy(c, v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i := range v {
+		out[i] = c[i] * v[i]
+	}
+	return out
+}
+
+// HeatFlowToAmbient returns, for the given temperature field, the heat (W)
+// leaving the network through each node's ambient conductance. Summed over
+// all nodes at steady state it equals the injected power (energy
+// conservation).
+func (s *Solver) HeatFlowToAmbient(temp []float64) []float64 {
+	out := make([]float64, s.net.N())
+	for i := range out {
+		out[i] = s.net.ambG[i] * (temp[i] - s.net.ambient)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package refsolver
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGridRefinementConverges: refining the grid changes the center probe by
+// progressively less (consistency of the discretization).
+func TestGridRefinementConverges(t *testing.T) {
+	probe := func(n int) float64 {
+		s, err := New(paperCfg(n, n, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.AddUniformPower(200)
+		temp, err := s.Steady()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.ProbeCenter(temp)
+	}
+	t8 := probe(8)
+	t16 := probe(16)
+	t24 := probe(24)
+	d1 := math.Abs(t16 - t8)
+	d2 := math.Abs(t24 - t16)
+	if d2 > d1+1e-9 {
+		t.Fatalf("refinement not converging: |16-8|=%g, |24-16|=%g", d1, d2)
+	}
+	// And the answer is stable to within a fraction of the rise.
+	if d2 > 0.02*(t24-300) {
+		t.Fatalf("grid sensitivity too high: %g on a rise of %g", d2, t24-300)
+	}
+}
+
+// TestSymmetricSourceSymmetricField: a centered source under uniform h must
+// give a left-right and top-bottom symmetric surface map.
+func TestSymmetricSourceSymmetricField(t *testing.T) {
+	s, err := New(paperCfg(20, 20, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddRectPower(10, 0.009, 0.009, 0.002, 0.002)
+	temp, err := s.Steady()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.TopMap(temp)
+	nx, ny, _ := s.GridDims()
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx/2; ix++ {
+			a := m[iy*nx+ix]
+			b := m[iy*nx+(nx-1-ix)]
+			if math.Abs(a-b) > 1e-6 {
+				t.Fatalf("x symmetry broken at (%d,%d): %g vs %g", ix, iy, a, b)
+			}
+		}
+	}
+	for iy := 0; iy < ny/2; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			a := m[iy*nx+ix]
+			b := m[(ny-1-iy)*nx+ix]
+			if math.Abs(a-b) > 1e-6 {
+				t.Fatalf("y symmetry broken at (%d,%d): %g vs %g", ix, iy, a, b)
+			}
+		}
+	}
+}
+
+// TestLocalHBreaksSymmetry: switching on h(x) must break exactly the x
+// symmetry (flow direction) and keep the y symmetry.
+func TestLocalHBreaksSymmetry(t *testing.T) {
+	cfg := paperCfg(20, 20, 3)
+	cfg.LocalH = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddRectPower(10, 0.009, 0.009, 0.002, 0.002)
+	temp, err := s.Steady()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.TopMap(temp)
+	nx, ny, _ := s.GridDims()
+	row := ny / 2
+	var xAsym float64
+	for ix := 0; ix < nx/2; ix++ {
+		xAsym = math.Max(xAsym, math.Abs(m[row*nx+ix]-m[row*nx+(nx-1-ix)]))
+	}
+	if xAsym < 0.1 {
+		t.Fatalf("local h should break x symmetry, asymmetry %g", xAsym)
+	}
+	col := nx / 2
+	for iy := 0; iy < ny/2; iy++ {
+		a := m[iy*nx+col]
+		b := m[(ny-1-iy)*nx+col]
+		if math.Abs(a-b) > 1e-6 {
+			t.Fatalf("y symmetry should survive: %g vs %g", a, b)
+		}
+	}
+}
+
+// TestCompactVsReferenceGridAgreement: the compact model on a grid floorplan
+// and the reference solver agree on an off-center source too (a stronger
+// version of the Fig. 3 check).
+func TestBEStepSizeRobust(t *testing.T) {
+	// Backward Euler with a large step still lands near the same end state
+	// as small steps for a smooth warmup (first-order accuracy sanity).
+	s, err := New(paperCfg(10, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddUniformPower(100)
+	a := s.AmbientField()
+	b := s.AmbientField()
+	if err := s.Transient(a, 2.0, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Transient(b, 2.0, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	rise := s.ProbeCenter(a) - 300
+	if d := math.Abs(s.ProbeCenter(a) - s.ProbeCenter(b)); d > 0.05*rise {
+		t.Fatalf("BE step sensitivity too high: %g on rise %g", d, rise)
+	}
+}

@@ -1,0 +1,244 @@
+package refsolver
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/materials"
+)
+
+// paperCfg is the §3.2 validation setup: 20×20×0.5 mm silicon in a 10 m/s
+// oil flow.
+func paperCfg(nx, ny, nz int) Config {
+	return Config{
+		Width: 0.020, Height: 0.020, Thickness: 0.5e-3,
+		NX: nx, NY: ny, NZ: nz,
+		AmbientK: 300,
+	}
+}
+
+func TestSteadyUniformMatchesLumped(t *testing.T) {
+	// Uniform power on a uniform die: the fine-grid steady state must match
+	// the trivial lumped answer T = T_amb + P·(R_si_half + R_conv) within a
+	// few percent (the grid adds through-thickness resolution).
+	s, err := New(paperCfg(20, 20, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddUniformPower(200)
+	temp, err := s.Steady()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := materials.LaminarFlow{Fluid: materials.MineralOil, Velocity: 10, PlateLen: 0.020}
+	rconv := flow.ConvectionResistance(4e-4)
+	rsi := materials.VerticalResistance(materials.Silicon, 0.5e-3, 4e-4)
+	want := 300 + 200*(rconv+rsi/2) // power at bottom, sink at top
+	got := s.ProbeCenter(temp)
+	if math.Abs(got-want)/(want-300) > 0.05 {
+		t.Fatalf("center T = %g K, lumped estimate %g K", got, want)
+	}
+}
+
+func TestSteadyEnergyBalance(t *testing.T) {
+	// All injected heat must leave through the oil: residual check via the
+	// operator. G·T = rhs ⟹ heat out = Σ g_amb (T_oil − T_amb) = P_total.
+	s, err := New(paperCfg(16, 16, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddRectPower(10, 0.009, 0.009, 0.002, 0.002)
+	temp, err := s.Steady()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute outflow from oil nodes.
+	flow := materials.LaminarFlow{Fluid: materials.MineralOil, Velocity: 10, PlateLen: 0.020}
+	h := flow.AvgHeatTransferCoeff()
+	nx, ny, _ := s.GridDims()
+	cellArea := 0.020 / float64(nx) * 0.020 / float64(ny)
+	var out float64
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			out += 2 * h * cellArea * (temp[s.oilIdx(ix, iy)] - 300)
+		}
+	}
+	if math.Abs(out-10) > 0.01 {
+		t.Fatalf("energy balance: out %g W, in 10 W", out)
+	}
+}
+
+func TestCenterSourceGradient(t *testing.T) {
+	// The Fig. 3 setup (2×2 mm, 10 W at center) creates a strong spatial
+	// gradient: Tmax at center well above Tmin at the die corner.
+	s, err := New(paperCfg(40, 40, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.AddRectPower(10, 0.009, 0.009, 0.002, 0.002); n != 16 {
+		t.Fatalf("hot rect hit %d cells, want 16", n)
+	}
+	temp, err := s.Steady()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmax, tmin, dT := s.ActiveLayerStats(temp)
+	if tmax <= tmin || dT < 5 {
+		t.Fatalf("expected a pronounced gradient, got max %g min %g", tmax, tmin)
+	}
+	if got := s.ProbeCenter(temp); math.Abs(got-tmax) > 1e-9 {
+		t.Fatalf("hottest point should be the center probe: %g vs %g", got, tmax)
+	}
+}
+
+func TestTransientApproachesSteady(t *testing.T) {
+	s, err := New(paperCfg(12, 12, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddUniformPower(200)
+	want, err := s.Steady()
+	if err != nil {
+		t.Fatal(err)
+	}
+	temp := s.AmbientField()
+	// τ ≈ R_conv·C_si ≈ 0.5 s; 6 s ≫ τ.
+	if err := s.Transient(temp, 6.0, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(s.ProbeCenter(temp) - s.ProbeCenter(want)); d > 0.5 {
+		t.Fatalf("transient end differs from steady by %g K", d)
+	}
+}
+
+func TestTransientTimeConstantOrderOneSecond(t *testing.T) {
+	// Paper Fig. 2: "the thermal time constant is on the order of a
+	// second". Find the 63% point of the center probe's step response.
+	s, err := New(paperCfg(12, 12, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddUniformPower(200)
+	steady, err := s.Steady()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := 300 + 0.632*(s.ProbeCenter(steady)-300)
+	temp := s.AmbientField()
+	tau := -1.0
+	dt := 0.02
+	for step := 1; step <= 300; step++ {
+		if err := s.StepBE(temp, dt); err != nil {
+			t.Fatal(err)
+		}
+		if s.ProbeCenter(temp) >= target {
+			tau = float64(step) * dt
+			break
+		}
+	}
+	if tau < 0.1 || tau > 3.0 {
+		t.Fatalf("τ = %g s, want order of a second", tau)
+	}
+}
+
+func TestLocalHShiftsHotSpotDownstream(t *testing.T) {
+	// With the position-dependent h(x) and flow along +x, a symmetric
+	// uniform power load yields a top surface hotter downstream (paper
+	// §4.2: the leading edge is cooled best).
+	cfg := paperCfg(20, 20, 3)
+	cfg.LocalH = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddUniformPower(100)
+	temp, err := s.Steady()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.TopMap(temp)
+	nx, ny, _ := s.GridDims()
+	row := ny / 2
+	lead := m[row*nx+1]
+	trail := m[row*nx+nx-2]
+	if trail <= lead {
+		t.Fatalf("downstream (%g) should be hotter than leading edge (%g)", trail, lead)
+	}
+}
+
+func TestFloorplanPowerInjection(t *testing.T) {
+	cfg := Config{
+		Width: 0.016, Height: 0.016, Thickness: 0.5e-3,
+		NX: 32, NY: 32, NZ: 3, AmbientK: 318.15,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := floorplan.EV6()
+	if err := s.AddFloorplanPower(fp, map[string]float64{"IntReg": 2, "L2": 5}); err != nil {
+		t.Fatal(err)
+	}
+	temp, err := s.Steady()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hottest active-layer cell should be inside IntReg (tiny area,
+	// high density).
+	nx, ny, _ := s.GridDims()
+	best, bi := math.Inf(-1), -1
+	for i := 0; i < nx*ny; i++ {
+		if v := temp[i]; v > best {
+			best, bi = v, i
+		}
+	}
+	cx := (float64(bi%nx) + 0.5) * 0.016 / float64(nx)
+	cy := (float64(bi/nx) + 0.5) * 0.016 / float64(ny)
+	blk := fp.BlockAt(cx, cy)
+	if blk < 0 || fp.Blocks[blk].Name != "IntReg" {
+		name := "?"
+		if blk >= 0 {
+			name = fp.Blocks[blk].Name
+		}
+		t.Fatalf("hottest cell in %q, want IntReg", name)
+	}
+	if err := s.AddFloorplanPower(fp, map[string]float64{"bogus": 1}); err == nil {
+		t.Fatal("unknown block should error")
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := New(Config{NX: 1, NY: 1, NZ: 1, Width: 1, Height: 1, Thickness: 1}); err == nil {
+		t.Fatal("tiny grid should fail")
+	}
+	if _, err := New(Config{NX: 4, NY: 4, NZ: 2, Width: -1, Height: 1, Thickness: 1}); err == nil {
+		t.Fatal("negative width should fail")
+	}
+	s, err := New(paperCfg(8, 8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StepBE(make([]float64, 3), 0.1); err == nil {
+		t.Fatal("bad field length should fail")
+	}
+	if err := s.StepBE(s.AmbientField(), -1); err == nil {
+		t.Fatal("negative dt should fail")
+	}
+}
+
+func TestResetPower(t *testing.T) {
+	s, err := New(paperCfg(8, 8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddUniformPower(100)
+	s.ResetPower()
+	temp, err := s.Steady()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(s.ProbeCenter(temp) - 300); d > 1e-6 {
+		t.Fatalf("no power should mean ambient everywhere, off by %g", d)
+	}
+}

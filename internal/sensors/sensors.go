@@ -1,0 +1,303 @@
+// Package sensors models on-die thermal sensors and their placement: point
+// sensors with offset error and sampling interval, greedy k-sensor placement
+// over candidate sites, and the worst-case readout error analysis behind the
+// paper's §5.3 (sensing granularity) and §5.4 (flow-direction-aware
+// placement) discussions.
+package sensors
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/floorplan"
+)
+
+// Sensor is one on-die temperature sensor.
+type Sensor struct {
+	// X, Y is the sensor location in die coordinates (m).
+	X, Y float64
+	// OffsetC is a fixed calibration error added to every reading (°C).
+	OffsetC float64
+	// Block is the floorplan block containing the sensor (set by Place or
+	// AttachBlocks).
+	Block string
+}
+
+// ThermalMap is a rasterized die temperature field (°C) as produced by
+// hotspot.Result.Grid or refsolver.TopMap.
+type ThermalMap struct {
+	NX, NY int
+	// Width and Height are the die dimensions (m).
+	Width, Height float64
+	// CellsC holds temperatures row-major, row 0 at the die bottom.
+	CellsC []float64
+}
+
+// NewThermalMap validates and wraps a grid.
+func NewThermalMap(nx, ny int, width, height float64, cells []float64) (*ThermalMap, error) {
+	if nx <= 0 || ny <= 0 || len(cells) != nx*ny {
+		return nil, fmt.Errorf("sensors: bad grid %dx%d with %d cells", nx, ny, len(cells))
+	}
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("sensors: bad die size %g×%g", width, height)
+	}
+	return &ThermalMap{NX: nx, NY: ny, Width: width, Height: height, CellsC: cells}, nil
+}
+
+// At returns the map temperature at die coordinates (x, y), clamped to the
+// die bounds.
+func (m *ThermalMap) At(x, y float64) float64 {
+	ix := int(x / m.Width * float64(m.NX))
+	iy := int(y / m.Height * float64(m.NY))
+	if ix < 0 {
+		ix = 0
+	}
+	if ix >= m.NX {
+		ix = m.NX - 1
+	}
+	if iy < 0 {
+		iy = 0
+	}
+	if iy >= m.NY {
+		iy = m.NY - 1
+	}
+	return m.CellsC[iy*m.NX+ix]
+}
+
+// Max returns the hottest map temperature and its location.
+func (m *ThermalMap) Max() (tempC, x, y float64) {
+	best := math.Inf(-1)
+	var bx, by float64
+	for iy := 0; iy < m.NY; iy++ {
+		for ix := 0; ix < m.NX; ix++ {
+			if v := m.CellsC[iy*m.NX+ix]; v > best {
+				best = v
+				bx = (float64(ix) + 0.5) * m.Width / float64(m.NX)
+				by = (float64(iy) + 0.5) * m.Height / float64(m.NY)
+			}
+		}
+	}
+	return best, bx, by
+}
+
+// Read returns each sensor's reading of the map (map value plus offset).
+func Read(m *ThermalMap, sensors []Sensor) []float64 {
+	out := make([]float64, len(sensors))
+	for i, s := range sensors {
+		out[i] = m.At(s.X, s.Y) + s.OffsetC
+	}
+	return out
+}
+
+// ObservedMax returns the hottest sensor reading — what a DTM controller
+// actually sees.
+func ObservedMax(m *ThermalMap, sensors []Sensor) float64 {
+	best := math.Inf(-1)
+	for _, r := range Read(m, sensors) {
+		if r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+// HotSpotError returns the gap between the true die maximum and the hottest
+// sensor reading (°C). Positive values mean the sensors under-report — the
+// margin a DTM threshold must absorb (paper §5.3).
+func HotSpotError(m *ThermalMap, sensors []Sensor) float64 {
+	trueMax, _, _ := m.Max()
+	return trueMax - ObservedMax(m, sensors)
+}
+
+// CandidateGrid returns an nx×ny grid of candidate sensor sites over the
+// floorplan, each attached to its containing block.
+func CandidateGrid(fp *floorplan.Floorplan, nx, ny int) []Sensor {
+	minX, minY, _, _ := fp.Bounds()
+	w, h := fp.Width(), fp.Height()
+	var out []Sensor
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			x := minX + (float64(ix)+0.5)*w/float64(nx)
+			y := minY + (float64(iy)+0.5)*h/float64(ny)
+			s := Sensor{X: x, Y: y}
+			if bi := fp.BlockAt(x, y); bi >= 0 {
+				s.Block = fp.Blocks[bi].Name
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Place selects k sensors from the candidate sites so that the worst-case
+// hot-spot error over the training maps is minimized: a greedy pass adds the
+// candidate that most reduces max-over-maps HotSpotError, followed by a
+// swap-refinement pass that escapes the greedy local optima arising when
+// training maps conflict (e.g. opposite flow directions, §5.4). The training
+// maps should span the operating conditions the chip will see.
+func Place(candidates []Sensor, maps []*ThermalMap, k int) ([]Sensor, float64, error) {
+	if k <= 0 || k > len(candidates) {
+		return nil, 0, fmt.Errorf("sensors: cannot place %d sensors from %d candidates", k, len(candidates))
+	}
+	if len(maps) == 0 {
+		return nil, 0, fmt.Errorf("sensors: no training maps")
+	}
+	chosen := make([]int, 0, k)
+	used := make([]bool, len(candidates))
+	sel := func(idx []int) []Sensor {
+		out := make([]Sensor, len(idx))
+		for i, c := range idx {
+			out[i] = candidates[c]
+		}
+		return out
+	}
+	for len(chosen) < k {
+		bestIdx, bestErr := -1, math.Inf(1)
+		for i := range candidates {
+			if used[i] {
+				continue
+			}
+			e := worstError(append(sel(chosen), candidates[i]), maps)
+			if e < bestErr {
+				bestIdx, bestErr = i, e
+			}
+		}
+		used[bestIdx] = true
+		chosen = append(chosen, bestIdx)
+	}
+	final := refinePlacement(candidates, maps, chosen, used)
+	return sel(chosen), final, nil
+}
+
+// refinePlacement performs steepest-descent swaps: replace any chosen sensor
+// with any unused candidate while that lowers the worst-case error.
+func refinePlacement(candidates []Sensor, maps []*ThermalMap, chosen []int, used []bool) float64 {
+	sel := func() []Sensor {
+		out := make([]Sensor, len(chosen))
+		for i, c := range chosen {
+			out[i] = candidates[c]
+		}
+		return out
+	}
+	cur := worstError(sel(), maps)
+	for pass := 0; pass < 10; pass++ {
+		improved := false
+		for pos := range chosen {
+			old := chosen[pos]
+			for i := range candidates {
+				if used[i] {
+					continue
+				}
+				chosen[pos] = i
+				if e := worstError(sel(), maps); e < cur-1e-12 {
+					used[old] = false
+					used[i] = true
+					cur = e
+					old = i
+					improved = true
+				} else {
+					chosen[pos] = old
+				}
+			}
+			chosen[pos] = old
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur
+}
+
+// ErrorVsCount returns the worst-case hot-spot error achieved by the greedy
+// placement for each sensor budget 1..maxK. This regenerates the paper's
+// §5.3 observation: the steeper OIL-SILICON gradients need more sensors (or
+// larger margins) than AIR-SINK for the same accuracy.
+func ErrorVsCount(candidates []Sensor, maps []*ThermalMap, maxK int) ([]float64, error) {
+	if maxK <= 0 || maxK > len(candidates) {
+		return nil, fmt.Errorf("sensors: bad budget %d", maxK)
+	}
+	if len(maps) == 0 {
+		return nil, fmt.Errorf("sensors: no training maps")
+	}
+	// One greedy run; record the error after each addition.
+	out := make([]float64, maxK)
+	chosen := make([]Sensor, 0, maxK)
+	used := make([]bool, len(candidates))
+	for k := 0; k < maxK; k++ {
+		bestIdx, bestErr := -1, math.Inf(1)
+		for i, c := range candidates {
+			if used[i] {
+				continue
+			}
+			e := worstError(append(chosen, c), maps)
+			if e < bestErr {
+				bestIdx, bestErr = i, e
+			}
+		}
+		used[bestIdx] = true
+		chosen = append(chosen, candidates[bestIdx])
+		out[k] = bestErr
+	}
+	return out, nil
+}
+
+func worstError(sel []Sensor, maps []*ThermalMap) float64 {
+	w := math.Inf(-1)
+	for _, m := range maps {
+		if e := HotSpotError(m, sel); e > w {
+			w = e
+		}
+	}
+	return w
+}
+
+// SamplingInterval returns the longest sensor sampling interval (seconds)
+// that keeps the temperature change between samples below resolutionC,
+// given the maximum observed heating rate (°C/s). This is the paper's §5.2
+// calculation: ≈5 °C in 3 ms with 0.1 °C resolution ⇒ ≤60 µs.
+func SamplingInterval(maxRateCPerS, resolutionC float64) (float64, error) {
+	if maxRateCPerS <= 0 {
+		return 0, fmt.Errorf("sensors: non-positive heating rate %g", maxRateCPerS)
+	}
+	if resolutionC <= 0 {
+		return 0, fmt.Errorf("sensors: non-positive resolution %g", resolutionC)
+	}
+	return resolutionC / maxRateCPerS, nil
+}
+
+// MaxHeatingRate scans a temperature trace (time, °C pairs for one block)
+// and returns the steepest positive slope in °C/s.
+func MaxHeatingRate(times, temps []float64) (float64, error) {
+	if len(times) != len(temps) || len(times) < 2 {
+		return 0, fmt.Errorf("sensors: need ≥2 matched samples")
+	}
+	var best float64
+	for i := 1; i < len(times); i++ {
+		dt := times[i] - times[i-1]
+		if dt <= 0 {
+			return 0, fmt.Errorf("sensors: non-increasing time at %d", i)
+		}
+		if r := (temps[i] - temps[i-1]) / dt; r > best {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// RankBlocks orders block names by their temperature in the map of per-block
+// temperatures, hottest first. Useful for comparing hot-spot rankings across
+// packages and flow directions.
+func RankBlocks(blockTempC map[string]float64) []string {
+	names := make([]string, 0, len(blockTempC))
+	for n := range blockTempC {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if blockTempC[names[i]] != blockTempC[names[j]] {
+			return blockTempC[names[i]] > blockTempC[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

@@ -1,0 +1,248 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/hotspot"
+)
+
+// gradientMap builds a simple left-to-right gradient map.
+func gradientMap(t *testing.T, nx, ny int, lo, hi float64) *ThermalMap {
+	t.Helper()
+	cells := make([]float64, nx*ny)
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			cells[iy*nx+ix] = lo + (hi-lo)*float64(ix)/float64(nx-1)
+		}
+	}
+	m, err := NewThermalMap(nx, ny, 0.016, 0.016, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestThermalMapAtAndMax(t *testing.T) {
+	m := gradientMap(t, 8, 8, 40, 80)
+	if v := m.At(0.0, 0.008); math.Abs(v-40) > 1e-9 {
+		t.Fatalf("left edge %g", v)
+	}
+	if v := m.At(0.0159, 0.008); math.Abs(v-80) > 1e-9 {
+		t.Fatalf("right edge %g", v)
+	}
+	// Out-of-bounds clamps.
+	if v := m.At(-1, -1); math.Abs(v-40) > 1e-9 {
+		t.Fatalf("clamp %g", v)
+	}
+	mx, x, _ := m.Max()
+	if mx != 80 || x < 0.014 {
+		t.Fatalf("max %g at x=%g", mx, x)
+	}
+}
+
+func TestNewThermalMapValidation(t *testing.T) {
+	if _, err := NewThermalMap(2, 2, 1, 1, make([]float64, 3)); err == nil {
+		t.Fatal("cell count mismatch should fail")
+	}
+	if _, err := NewThermalMap(2, 2, 0, 1, make([]float64, 4)); err == nil {
+		t.Fatal("zero width should fail")
+	}
+}
+
+func TestReadAndHotSpotError(t *testing.T) {
+	m := gradientMap(t, 16, 16, 50, 90)
+	// Sensor at the cold edge misses the hot spot by ~40 °C.
+	cold := []Sensor{{X: 0.001, Y: 0.008}}
+	if e := HotSpotError(m, cold); e < 35 {
+		t.Fatalf("cold-edge sensor error %g, want ≈40", e)
+	}
+	// Sensor at the hot edge nails it.
+	hot := []Sensor{{X: 0.0155, Y: 0.008}}
+	if e := HotSpotError(m, hot); e > 3 {
+		t.Fatalf("hot-edge sensor error %g, want ≈0", e)
+	}
+	// Offset shifts readings.
+	offset := []Sensor{{X: 0.0155, Y: 0.008, OffsetC: -5}}
+	if e := HotSpotError(m, offset); e < 4 {
+		t.Fatalf("offset should add error, got %g", e)
+	}
+}
+
+func TestCandidateGridAttachesBlocks(t *testing.T) {
+	fp := floorplan.EV6()
+	cands := CandidateGrid(fp, 8, 8)
+	if len(cands) != 64 {
+		t.Fatalf("%d candidates", len(cands))
+	}
+	for _, c := range cands {
+		if c.Block == "" {
+			t.Fatal("candidate not attached to a block")
+		}
+	}
+}
+
+func TestGreedyPlacementFindsHotSpot(t *testing.T) {
+	m := gradientMap(t, 16, 16, 50, 90)
+	fp := floorplan.UniformDie("die", 0.016, 0.016)
+	cands := CandidateGrid(fp, 8, 8)
+	placed, err0, err := Place(cands, []*ThermalMap{m}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed[0].X < 0.012 {
+		t.Fatalf("single sensor should go near the hot edge, got x=%g", placed[0].X)
+	}
+	if err0 > 3 {
+		t.Fatalf("placement error %g too large", err0)
+	}
+}
+
+func TestPlacementAcrossConflictingMaps(t *testing.T) {
+	// Two maps with opposite gradients (the §5.4 flow-direction scenario):
+	// one sensor cannot cover both; two can.
+	left := gradientMap(t, 16, 16, 50, 90) // hot right
+	cells := make([]float64, 16*16)
+	for iy := 0; iy < 16; iy++ {
+		for ix := 0; ix < 16; ix++ {
+			cells[iy*16+ix] = 50 + 40*float64(15-ix)/15 // hot left
+		}
+	}
+	right, _ := NewThermalMap(16, 16, 0.016, 0.016, cells)
+	fp := floorplan.UniformDie("die", 0.016, 0.016)
+	cands := CandidateGrid(fp, 8, 8)
+	maps := []*ThermalMap{left, right}
+	_, e1, err := Place(cands, maps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, e2, err := Place(cands, maps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 >= e1 {
+		t.Fatalf("two sensors should beat one: %g vs %g", e2, e1)
+	}
+	if e1 < 10 {
+		t.Fatalf("one sensor cannot cover opposite gradients: error %g suspiciously low", e1)
+	}
+	if e2 > 5 {
+		t.Fatalf("two sensors should cover both hot edges: error %g", e2)
+	}
+}
+
+func TestErrorVsCountMonotone(t *testing.T) {
+	m := gradientMap(t, 16, 16, 50, 90)
+	fp := floorplan.UniformDie("die", 0.016, 0.016)
+	cands := CandidateGrid(fp, 6, 6)
+	errs, err := ErrorVsCount(cands, []*ThermalMap{m}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(errs); i++ {
+		if errs[i] > errs[i-1]+1e-9 {
+			t.Fatalf("error must not increase with more sensors: %v", errs)
+		}
+	}
+}
+
+func TestOilNeedsMoreSensorsThanAir(t *testing.T) {
+	// End-to-end §5.3: with the same sensor budget, the steeper OIL-SILICON
+	// gradient leaves a larger worst-case error than AIR-SINK.
+	fp := floorplan.EV6()
+	power := map[string]float64{"IntReg": 2.0, "IntExec": 1.8, "Dcache": 3.0, "L2": 5.0}
+	mapFor := func(kind hotspot.PackageKind) *ThermalMap {
+		cfg := hotspot.Config{Floorplan: fp, Package: kind}
+		if kind == hotspot.OilSilicon {
+			cfg.Oil = hotspot.OilConfig{TargetRconv: 1.0}
+		} else {
+			cfg.Air = hotspot.AirSinkConfig{RConvec: 1.0}
+		}
+		m, err := hotspot.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := m.PowerVector(power)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid := m.SteadyState(p).Grid(32, 32)
+		tm, err := NewThermalMap(32, 32, fp.Width(), fp.Height(), grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tm
+	}
+	oil := mapFor(hotspot.OilSilicon)
+	air := mapFor(hotspot.AirSink)
+	cands := CandidateGrid(fp, 6, 6)
+	const k = 2
+	_, eOil, err := Place(cands, []*ThermalMap{oil}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, eAir, err := Place(cands, []*ThermalMap{air}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eOil <= eAir {
+		t.Fatalf("OIL-SILICON error %g should exceed AIR-SINK %g at k=%d", eOil, eAir, k)
+	}
+}
+
+func TestSamplingInterval(t *testing.T) {
+	// §5.2: 5 °C in 3 ms, 0.1 °C resolution ⇒ 60 µs.
+	iv, err := SamplingInterval(5.0/3e-3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv-60e-6) > 1e-9 {
+		t.Fatalf("interval %g, want 60 µs", iv)
+	}
+	if _, err := SamplingInterval(0, 0.1); err == nil {
+		t.Fatal("zero rate should fail")
+	}
+	if _, err := SamplingInterval(1, 0); err == nil {
+		t.Fatal("zero resolution should fail")
+	}
+}
+
+func TestMaxHeatingRate(t *testing.T) {
+	times := []float64{0, 1e-3, 2e-3, 3e-3}
+	temps := []float64{60, 62, 65, 64}
+	r, err := MaxHeatingRate(times, temps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-3000) > 1e-9 {
+		t.Fatalf("rate %g, want 3000 °C/s", r)
+	}
+	if _, err := MaxHeatingRate([]float64{0}, []float64{1}); err == nil {
+		t.Fatal("too few samples should fail")
+	}
+	if _, err := MaxHeatingRate([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Fatal("non-increasing time should fail")
+	}
+}
+
+func TestRankBlocks(t *testing.T) {
+	r := RankBlocks(map[string]float64{"a": 50, "b": 90, "c": 70})
+	if r[0] != "b" || r[1] != "c" || r[2] != "a" {
+		t.Fatalf("rank %v", r)
+	}
+}
+
+func TestPlaceValidation(t *testing.T) {
+	m := gradientMap(t, 4, 4, 1, 2)
+	if _, _, err := Place(nil, []*ThermalMap{m}, 1); err == nil {
+		t.Fatal("no candidates should fail")
+	}
+	cands := []Sensor{{X: 0, Y: 0}}
+	if _, _, err := Place(cands, nil, 1); err == nil {
+		t.Fatal("no maps should fail")
+	}
+	if _, err := ErrorVsCount(cands, []*ThermalMap{m}, 5); err == nil {
+		t.Fatal("budget beyond candidates should fail")
+	}
+}

@@ -1,0 +1,185 @@
+// Package uarch is the repository's stand-in for SimpleScalar: a
+// trace-synthesizing out-of-order processor timing model. It generates a
+// synthetic instruction stream with phase behaviour (gcc-, mcf- and art-like
+// presets), runs it through branch prediction, a two-level cache hierarchy
+// and a dataflow pipeline model, and emits per-interval activity counts for
+// every microarchitectural unit of the EV6 floorplan. Package power converts
+// those counts into the per-block power traces consumed by the thermal
+// model.
+//
+// The timing model is deliberately at the "interval simulation" altitude:
+// per-instruction dataflow with functional-unit contention and in-order
+// commit, rather than a cycle-by-cycle scheduler. That keeps whole-program
+// simulation fast enough to regenerate the paper's 40 000-sample temperature
+// traces while preserving the phase structure, cache behaviour and unit
+// utilization that drive per-block power.
+package uarch
+
+// Cache is a set-associative cache with LRU replacement. Addresses are byte
+// addresses; only tags are stored.
+type Cache struct {
+	sets      int
+	ways      int
+	lineShift uint
+	tags      [][]uint64
+	lru       [][]uint64 // per-way last-use stamps
+	stamp     uint64
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewCache builds a cache of the given total size in bytes, associativity
+// and line size (both powers of two).
+func NewCache(sizeBytes, ways, lineBytes int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		panic("uarch: invalid cache geometry")
+	}
+	lines := sizeBytes / lineBytes
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	c := &Cache{sets: sets, ways: ways, lineShift: shift}
+	c.tags = make([][]uint64, sets)
+	c.lru = make([][]uint64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, ways)
+		c.lru[i] = make([]uint64, ways)
+		for w := range c.tags[i] {
+			c.tags[i][w] = ^uint64(0) // invalid
+		}
+	}
+	return c
+}
+
+// Access looks up addr, filling the line on a miss. It returns true on hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.Accesses++
+	c.stamp++
+	line := addr >> c.lineShift
+	set := int(line % uint64(c.sets))
+	tag := line / uint64(c.sets)
+	tags := c.tags[set]
+	for w, t := range tags {
+		if t == tag {
+			c.lru[set][w] = c.stamp
+			return true
+		}
+	}
+	c.Misses++
+	// Evict LRU way.
+	victim, oldest := 0, c.lru[set][0]
+	for w := 1; w < c.ways; w++ {
+		if c.lru[set][w] < oldest {
+			victim, oldest = w, c.lru[set][w]
+		}
+	}
+	tags[victim] = tag
+	c.lru[set][victim] = c.stamp
+	return false
+}
+
+// MissRate returns the observed miss rate (0 when never accessed).
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// ResetStats clears the access counters (contents are kept).
+func (c *Cache) ResetStats() { c.Accesses, c.Misses = 0, 0 }
+
+// BPred is a tournament branch predictor in the style of the Alpha 21264
+// (the EV6 the paper's floorplan models): a PC-indexed bimodal table, a
+// history-indexed gshare table, and a PC-indexed chooser that learns which
+// component predicts each branch better.
+type BPred struct {
+	bits    uint
+	bimodal []uint8
+	gshare  []uint8
+	chooser []uint8
+	history uint64
+
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// NewBPred builds a tournament predictor with 2^bits counters per table.
+func NewBPred(bits uint) *BPred {
+	if bits == 0 || bits > 24 {
+		panic("uarch: bad predictor size")
+	}
+	mk := func(init uint8) []uint8 {
+		t := make([]uint8, 1<<bits)
+		for i := range t {
+			t[i] = init
+		}
+		return t
+	}
+	return &BPred{bits: bits, bimodal: mk(1), gshare: mk(1), chooser: mk(1)}
+}
+
+func bump(t []uint8, i uint64, up bool) {
+	if up {
+		if t[i] < 3 {
+			t[i]++
+		}
+	} else if t[i] > 0 {
+		t[i]--
+	}
+}
+
+// Predict consults and updates the predictor for a branch at pc with the
+// actual outcome; it returns true when the prediction was correct.
+func (b *BPred) Predict(pc uint64, taken bool) bool {
+	b.Lookups++
+	mask := uint64(1)<<b.bits - 1
+	// Branch sites are 32-byte aligned in the synthetic stream; fold the
+	// high bits down so the full table is used.
+	key := pc>>5 ^ pc>>2
+	pi := key & mask
+	gi := (key ^ b.history) & mask
+	predB := b.bimodal[pi] >= 2
+	predG := b.gshare[gi] >= 2
+	pred := predB
+	if b.chooser[pi] >= 2 {
+		pred = predG
+	}
+	// Update component tables toward the outcome, the chooser toward
+	// whichever component was right (when they disagree).
+	bump(b.bimodal, pi, taken)
+	bump(b.gshare, gi, taken)
+	if predB != predG {
+		bump(b.chooser, pi, predG == taken)
+	}
+	b.history = (b.history<<1 | boolBit(taken)) & mask
+	correct := pred == taken
+	if !correct {
+		b.Mispredicts++
+	}
+	return correct
+}
+
+// MispredictRate returns the observed misprediction rate.
+func (b *BPred) MispredictRate() float64 {
+	if b.Lookups == 0 {
+		return 0
+	}
+	return float64(b.Mispredicts) / float64(b.Lookups)
+}
+
+// ResetStats clears the counters (learned state is kept).
+func (b *BPred) ResetStats() { b.Lookups, b.Mispredicts = 0, 0 }
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,373 @@
+package uarch
+
+import "fmt"
+
+// Unit identifies a microarchitectural unit; values line up with the EV6
+// floorplan blocks that package power maps activity onto.
+type Unit int
+
+const (
+	UIcache Unit = iota
+	UDcache
+	UL2
+	UBpred
+	UITB
+	UDTB
+	UIntReg
+	UIntExec
+	UIntMap
+	UIntQ
+	UFPReg
+	UFPAdd
+	UFPMul
+	UFPMap
+	UFPQ
+	ULdStQ
+	NumUnits
+)
+
+var unitNames = [NumUnits]string{
+	"Icache", "Dcache", "L2", "Bpred", "ITB", "DTB",
+	"IntReg", "IntExec", "IntMap", "IntQ",
+	"FPReg", "FPAdd", "FPMul", "FPMap", "FPQ", "LdStQ",
+}
+
+func (u Unit) String() string {
+	if u >= 0 && u < NumUnits {
+		return unitNames[u]
+	}
+	return fmt.Sprintf("Unit(%d)", int(u))
+}
+
+// ActivitySample holds per-interval activity: unit access counts over a
+// fixed number of cycles.
+type ActivitySample struct {
+	StartCycle uint64
+	Cycles     uint64
+	Committed  uint64
+	Counts     [NumUnits]uint64
+}
+
+// IPC returns committed instructions per cycle for the interval.
+func (s ActivitySample) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// CPUConfig describes the modeled machine (defaults are EV6-like).
+type CPUConfig struct {
+	Width   int // fetch/commit width
+	ROBSize int
+
+	// Functional unit counts.
+	NIntALU, NIntMul, NFPAdd, NFPMul, NMemPort int
+
+	// Latencies in cycles.
+	LatIntALU, LatIntMul, LatFPAdd, LatFPMul int
+	LatL1Hit, LatL2Hit, LatMem               int
+	MispredictPenalty                        int
+	DispatchLatency                          int
+
+	// Cache geometry.
+	L1ISize, L1IWays int
+	L1DSize, L1DWays int
+	L2Size, L2Ways   int
+	LineBytes        int
+
+	PredictorBits uint
+}
+
+// DefaultCPU returns an EV6-like configuration.
+func DefaultCPU() CPUConfig {
+	return CPUConfig{
+		Width: 4, ROBSize: 80,
+		NIntALU: 4, NIntMul: 1, NFPAdd: 2, NFPMul: 1, NMemPort: 2,
+		LatIntALU: 1, LatIntMul: 7, LatFPAdd: 4, LatFPMul: 4,
+		LatL1Hit: 3, LatL2Hit: 14, LatMem: 180,
+		MispredictPenalty: 12, DispatchLatency: 2,
+		L1ISize: 64 << 10, L1IWays: 2,
+		L1DSize: 64 << 10, L1DWays: 2,
+		L2Size: 2 << 20, L2Ways: 8,
+		LineBytes:     64,
+		PredictorBits: 14,
+	}
+}
+
+// CPU is the dataflow timing model: per-instruction dispatch with
+// dependency tracking through a completion ring, functional-unit contention
+// through per-unit next-free times, in-order commit through an effective-
+// commit ring, and front-end stalls from I-cache misses and branch
+// mispredictions.
+type CPU struct {
+	cfg    CPUConfig
+	l1i    *Cache
+	l1d    *Cache
+	l2     *Cache
+	bp     *BPred
+	stream *Stream
+
+	cycle      uint64
+	fetchReady uint64
+	fetchSlot  int // instructions fetched in the current cycle
+
+	seq        uint64 // instructions dispatched
+	complete   []uint64
+	effCommit  []uint64
+	lastCommit uint64
+
+	fu [5][]uint64 // next-free time per functional unit, indexed by fuKind
+
+	counts    [NumUnits]uint64
+	committed uint64
+}
+
+type fuKind int
+
+const (
+	fuIntALU fuKind = iota
+	fuIntMul
+	fuFPAdd
+	fuFPMul
+	fuMem
+)
+
+// NewCPU assembles a CPU over a synthetic instruction stream.
+func NewCPU(cfg CPUConfig, stream *Stream) (*CPU, error) {
+	if cfg.Width <= 0 || cfg.ROBSize <= cfg.Width {
+		return nil, fmt.Errorf("uarch: invalid width/ROB: %d/%d", cfg.Width, cfg.ROBSize)
+	}
+	if stream == nil {
+		return nil, fmt.Errorf("uarch: nil stream")
+	}
+	c := &CPU{
+		cfg:    cfg,
+		l1i:    NewCache(cfg.L1ISize, cfg.L1IWays, cfg.LineBytes),
+		l1d:    NewCache(cfg.L1DSize, cfg.L1DWays, cfg.LineBytes),
+		l2:     NewCache(cfg.L2Size, cfg.L2Ways, cfg.LineBytes),
+		bp:     NewBPred(cfg.PredictorBits),
+		stream: stream,
+	}
+	ring := cfg.ROBSize
+	c.complete = make([]uint64, ring)
+	c.effCommit = make([]uint64, ring)
+	c.fu[fuIntALU] = make([]uint64, cfg.NIntALU)
+	c.fu[fuIntMul] = make([]uint64, cfg.NIntMul)
+	c.fu[fuFPAdd] = make([]uint64, cfg.NFPAdd)
+	c.fu[fuFPMul] = make([]uint64, cfg.NFPMul)
+	c.fu[fuMem] = make([]uint64, cfg.NMemPort)
+	return c, nil
+}
+
+// Cycle returns the current simulated cycle.
+func (c *CPU) Cycle() uint64 { return c.cycle }
+
+// claimFU returns the earliest start ≥ earliest on any unit of the kind and
+// books the unit until start+busy.
+func (c *CPU) claimFU(kind fuKind, earliest uint64, busy int) uint64 {
+	units := c.fu[kind]
+	best := 0
+	for i := 1; i < len(units); i++ {
+		if units[i] < units[best] {
+			best = i
+		}
+	}
+	start := earliest
+	if units[best] > start {
+		start = units[best]
+	}
+	units[best] = start + uint64(busy)
+	return start
+}
+
+// memLatency performs the cache walk for a data access and returns the load-
+// to-use latency.
+func (c *CPU) memLatency(addr uint64) int {
+	if c.l1d.Access(addr) {
+		return c.cfg.LatL1Hit
+	}
+	c.counts[UL2]++
+	if c.l2.Access(addr) {
+		return c.cfg.LatL2Hit
+	}
+	return c.cfg.LatMem
+}
+
+// step dispatches one instruction and advances the model.
+func (c *CPU) step() {
+	in := c.stream.Next()
+	cfg := &c.cfg
+
+	// Fetch bandwidth: Width instructions per cycle.
+	if c.fetchSlot >= cfg.Width {
+		c.cycle++
+		c.fetchSlot = 0
+	}
+	c.fetchSlot++
+	if c.cycle < c.fetchReady {
+		c.cycle = c.fetchReady
+		c.fetchSlot = 1
+	}
+
+	// I-cache access once per line.
+	lineInstrs := uint64(cfg.LineBytes / 4)
+	if in.PC/4%lineInstrs == 0 || c.counts[UIcache] == 0 {
+		c.counts[UIcache]++
+		c.counts[UITB]++
+		if !c.l1i.Access(in.PC) {
+			c.counts[UL2]++
+			lat := cfg.LatL2Hit
+			if !c.l2.Access(in.PC) {
+				lat = cfg.LatMem
+			}
+			c.fetchReady = c.cycle + uint64(lat)
+		}
+	}
+
+	// ROB occupancy: when full, stall fetch until the head commits.
+	ring := len(c.complete)
+	idx := int(c.seq) % ring
+	if c.seq >= uint64(ring) {
+		headCommit := c.effCommit[idx] // entry about to be overwritten
+		if c.cycle < headCommit {
+			c.cycle = headCommit
+			c.fetchSlot = 1
+		}
+	}
+
+	// Dependency.
+	ready := c.cycle + uint64(cfg.DispatchLatency)
+	if in.DepDist > 0 && uint64(in.DepDist) <= c.seq && in.DepDist < ring {
+		dep := c.complete[int(c.seq-uint64(in.DepDist))%ring]
+		if dep > ready {
+			ready = dep
+		}
+	}
+
+	// Issue + execute.
+	var done uint64
+	switch in.Class {
+	case IntALU:
+		start := c.claimFU(fuIntALU, ready, 1)
+		done = start + uint64(cfg.LatIntALU)
+		c.counts[UIntExec]++
+		c.intOverhead()
+	case IntMul:
+		start := c.claimFU(fuIntMul, ready, cfg.LatIntMul) // unpipelined
+		done = start + uint64(cfg.LatIntMul)
+		c.counts[UIntExec]++
+		c.intOverhead()
+	case FPAdd:
+		start := c.claimFU(fuFPAdd, ready, 1)
+		done = start + uint64(cfg.LatFPAdd)
+		c.counts[UFPAdd]++
+		c.fpOverhead()
+	case FPMul:
+		start := c.claimFU(fuFPMul, ready, 1)
+		done = start + uint64(cfg.LatFPMul)
+		c.counts[UFPMul]++
+		c.fpOverhead()
+	case Load:
+		start := c.claimFU(fuMem, ready, 1)
+		c.counts[UDcache]++
+		c.counts[UDTB]++
+		c.counts[ULdStQ]++
+		done = start + uint64(c.memLatency(in.Addr))
+		c.intOverhead()
+	case Store:
+		start := c.claimFU(fuMem, ready, 1)
+		c.counts[UDcache]++
+		c.counts[UDTB]++
+		c.counts[ULdStQ]++
+		done = start + 1 // buffered store
+		_ = c.memLatency(in.Addr)
+		c.intOverhead()
+	case Branch:
+		start := c.claimFU(fuIntALU, ready, 1)
+		done = start + uint64(cfg.LatIntALU)
+		c.counts[UBpred]++
+		c.counts[UIntExec]++
+		c.intOverhead()
+		if !c.bp.Predict(in.PC, in.Taken) {
+			refill := done + uint64(cfg.MispredictPenalty)
+			if refill > c.fetchReady {
+				c.fetchReady = refill
+			}
+		}
+	}
+
+	// Commit bookkeeping.
+	c.complete[idx] = done
+	eff := done
+	prev := c.effCommit[(idx+ring-1)%ring]
+	if c.seq == 0 {
+		prev = 0
+	}
+	if prev > eff {
+		eff = prev
+	}
+	c.effCommit[idx] = eff
+	c.seq++
+	c.committed++
+}
+
+func (c *CPU) intOverhead() {
+	c.counts[UIntMap]++
+	c.counts[UIntQ]++
+	c.counts[UIntReg] += 3 // two reads, one write
+}
+
+func (c *CPU) fpOverhead() {
+	c.counts[UFPMap]++
+	c.counts[UFPQ]++
+	c.counts[UFPReg] += 3
+}
+
+// Run simulates until at least totalCycles have elapsed, flushing an
+// ActivitySample every intervalCycles. The final partial interval is
+// included when it covers at least one cycle.
+func (c *CPU) Run(totalCycles, intervalCycles uint64) ([]ActivitySample, error) {
+	if intervalCycles == 0 || totalCycles < intervalCycles {
+		return nil, fmt.Errorf("uarch: need totalCycles ≥ intervalCycles > 0")
+	}
+	var out []ActivitySample
+	intervalStart := c.cycle
+	flush := func(end uint64) {
+		s := ActivitySample{
+			StartCycle: intervalStart,
+			Cycles:     end - intervalStart,
+			Committed:  c.committed,
+			Counts:     c.counts,
+		}
+		out = append(out, s)
+		c.counts = [NumUnits]uint64{}
+		c.committed = 0
+		intervalStart = end
+	}
+	endCycle := c.cycle + totalCycles
+	next := intervalStart + intervalCycles
+	for c.cycle < endCycle {
+		c.step()
+		for c.cycle >= next && next <= endCycle {
+			flush(next)
+			next += intervalCycles
+		}
+	}
+	if c.cycle > intervalStart && intervalStart < endCycle {
+		flush(min64(c.cycle, endCycle))
+	}
+	return out, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Stats exposes cache and predictor statistics for inspection.
+func (c *CPU) Stats() (l1iMiss, l1dMiss, l2Miss, mispredict float64) {
+	return c.l1i.MissRate(), c.l1d.MissRate(), c.l2.MissRate(), c.bp.MispredictRate()
+}

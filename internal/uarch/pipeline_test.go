@@ -1,0 +1,163 @@
+package uarch
+
+import (
+	"testing"
+)
+
+// runIPC measures IPC for a config over the gcc workload after warmup.
+func runIPC(t *testing.T, cfg CPUConfig, seed int64) float64 {
+	t.Helper()
+	s, err := NewStream(GCC(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCPU(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(3_000_000, 3_000_000); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := c.Run(3_000_000, 3_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var instr, cycles uint64
+	for _, sm := range samples {
+		instr += sm.Committed
+		cycles += sm.Cycles
+	}
+	return float64(instr) / float64(cycles)
+}
+
+func TestMispredictPenaltyHurtsIPC(t *testing.T) {
+	cheap := DefaultCPU()
+	cheap.MispredictPenalty = 1
+	costly := DefaultCPU()
+	costly.MispredictPenalty = 40
+	a := runIPC(t, cheap, 7)
+	b := runIPC(t, costly, 7)
+	if b >= a {
+		t.Fatalf("larger mispredict penalty should lower IPC: %g vs %g", b, a)
+	}
+}
+
+func TestROBSizeMatters(t *testing.T) {
+	small := DefaultCPU()
+	small.ROBSize = 8
+	big := DefaultCPU()
+	big.ROBSize = 160
+	a := runIPC(t, small, 7)
+	b := runIPC(t, big, 7)
+	if b <= a {
+		t.Fatalf("bigger ROB should raise IPC: %g vs %g", b, a)
+	}
+}
+
+func TestMemLatencyMatters(t *testing.T) {
+	fast := DefaultCPU()
+	fast.LatMem = 20
+	slow := DefaultCPU()
+	slow.LatMem = 500
+	a := runIPC(t, fast, 7)
+	b := runIPC(t, slow, 7)
+	if b >= a {
+		t.Fatalf("slower memory should lower IPC: %g vs %g", b, a)
+	}
+}
+
+func TestWidthMatters(t *testing.T) {
+	narrow := DefaultCPU()
+	narrow.Width = 1
+	wide := DefaultCPU()
+	wide.Width = 8
+	a := runIPC(t, narrow, 7)
+	b := runIPC(t, wide, 7)
+	if b <= a {
+		t.Fatalf("wider machine should raise IPC: %g vs %g", b, a)
+	}
+}
+
+// TestIntervalCountsAdditive: the per-interval activity counts must sum to
+// the whole-run counts (no activity lost or double-counted at interval
+// boundaries).
+func TestIntervalCountsAdditive(t *testing.T) {
+	mk := func(interval uint64) [NumUnits]uint64 {
+		s, err := NewStream(GCC(), 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewCPU(DefaultCPU(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples, err := c.Run(1_000_000, interval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total [NumUnits]uint64
+		for _, sm := range samples {
+			for u := range sm.Counts {
+				total[u] += sm.Counts[u]
+			}
+		}
+		return total
+	}
+	coarse := mk(1_000_000)
+	fine := mk(10_000)
+	for u := Unit(0); u < NumUnits; u++ {
+		// The fine run may include a few extra instructions in the final
+		// partial interval; allow a tiny relative slack.
+		a, b := float64(coarse[u]), float64(fine[u])
+		if a == 0 && b == 0 {
+			continue
+		}
+		if diff := (b - a) / (a + 1); diff < -0.02 || diff > 0.02 {
+			t.Fatalf("unit %v: counts not additive: %d vs %d", u, coarse[u], fine[u])
+		}
+	}
+}
+
+func TestCyclesMonotone(t *testing.T) {
+	s, _ := NewStream(MCF(), 13)
+	c, _ := NewCPU(DefaultCPU(), s)
+	samples, err := c.Run(500_000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevEnd uint64
+	for i, sm := range samples {
+		if sm.StartCycle != prevEnd {
+			t.Fatalf("sample %d starts at %d, previous ended at %d", i, sm.StartCycle, prevEnd)
+		}
+		prevEnd = sm.StartCycle + sm.Cycles
+	}
+}
+
+func TestIPCAccessor(t *testing.T) {
+	s := ActivitySample{Cycles: 100, Committed: 150}
+	if s.IPC() != 1.5 {
+		t.Fatalf("IPC %g", s.IPC())
+	}
+	if (ActivitySample{}).IPC() != 0 {
+		t.Fatal("zero-cycle IPC should be 0")
+	}
+}
+
+func TestPhaseNameAccessible(t *testing.T) {
+	s, _ := NewStream(GCC(), 7)
+	if s.PhaseName() == "" {
+		t.Fatal("phase name empty")
+	}
+	found := map[string]bool{}
+	for i := 0; i < 5_000_000; i++ {
+		s.Next()
+		found[s.PhaseName()] = true
+		if len(found) == 3 {
+			break
+		}
+	}
+	if len(found) < 2 {
+		t.Fatalf("phase transitions never happened: %v", found)
+	}
+}

@@ -1,0 +1,343 @@
+package uarch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache(1<<10, 2, 64) // 1 KiB, 2-way, 64B lines → 8 sets
+	if hit := c.Access(0); hit {
+		t.Fatal("cold access should miss")
+	}
+	if hit := c.Access(0); !hit {
+		t.Fatal("second access should hit")
+	}
+	if hit := c.Access(32); !hit {
+		t.Fatal("same line should hit")
+	}
+	if c.Accesses != 3 || c.Misses != 1 {
+		t.Fatalf("stats %d/%d", c.Misses, c.Accesses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2*64, 2, 64) // one set, two ways
+	c.Access(0 * 64)
+	c.Access(1 * 64)
+	c.Access(0 * 64) // touch 0: LRU is line 1
+	c.Access(2 * 64) // evicts line 1
+	if !c.Access(0 * 64) {
+		t.Fatal("line 0 should survive (was MRU)")
+	}
+	if c.Access(1 * 64) {
+		t.Fatal("line 1 should have been evicted")
+	}
+}
+
+func TestCacheCapacityBehaviour(t *testing.T) {
+	// Working set fitting in the cache → near-zero steady miss rate;
+	// 4× oversized working set → high miss rate.
+	small := NewCache(8<<10, 2, 64)
+	for pass := 0; pass < 4; pass++ {
+		for a := uint64(0); a < 8<<10; a += 64 {
+			small.Access(a)
+		}
+	}
+	small.ResetStats()
+	for a := uint64(0); a < 8<<10; a += 64 {
+		small.Access(a)
+	}
+	if small.MissRate() > 0.01 {
+		t.Fatalf("fitting set should hit: miss rate %g", small.MissRate())
+	}
+	big := NewCache(8<<10, 2, 64)
+	for pass := 0; pass < 4; pass++ {
+		for a := uint64(0); a < 32<<10; a += 64 {
+			big.Access(a)
+		}
+	}
+	if big.MissRate() < 0.5 {
+		t.Fatalf("thrashing set should miss: miss rate %g", big.MissRate())
+	}
+}
+
+func TestBPredLearnsBias(t *testing.T) {
+	b := NewBPred(12)
+	// Strongly biased branch: predictor should converge to near-perfect.
+	for i := 0; i < 2000; i++ {
+		b.Predict(0x1000, true)
+	}
+	b.ResetStats()
+	for i := 0; i < 1000; i++ {
+		b.Predict(0x1000, true)
+	}
+	if b.MispredictRate() > 0.01 {
+		t.Fatalf("biased branch should be predictable: %g", b.MispredictRate())
+	}
+}
+
+func TestBPredPatternLearning(t *testing.T) {
+	// Alternating pattern is learnable through global history.
+	b := NewBPred(12)
+	for i := 0; i < 4000; i++ {
+		b.Predict(0x2000, i%2 == 0)
+	}
+	b.ResetStats()
+	for i := 0; i < 1000; i++ {
+		b.Predict(0x2000, i%2 == 0)
+	}
+	if b.MispredictRate() > 0.05 {
+		t.Fatalf("alternating pattern should be learnable: %g", b.MispredictRate())
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	for name, w := range Workloads() {
+		if err := w.Validate(); err != nil {
+			t.Fatalf("preset %q invalid: %v", name, err)
+		}
+	}
+	bad := GCC()
+	bad.Transition = bad.Transition[:1]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("truncated transition matrix should fail")
+	}
+	empty := Workload{Name: "x"}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty workload should fail")
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	s1, err := NewStream(GCC(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := NewStream(GCC(), 42)
+	for i := 0; i < 10000; i++ {
+		a, b := s1.Next(), s2.Next()
+		if a != b {
+			t.Fatalf("streams diverge at %d: %+v vs %+v", i, a, b)
+		}
+	}
+	s3, _ := NewStream(GCC(), 43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if s1.Next() == s3.Next() {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatal("different seeds should produce different streams")
+	}
+}
+
+func TestStreamMixMatchesPhase(t *testing.T) {
+	// A single-phase workload must reproduce its instruction mix.
+	w := Workload{
+		Name: "unit",
+		Phases: []Phase{{
+			Name:       "only",
+			Mix:        [7]float64{IntALU: 0.5, Load: 0.3, Branch: 0.2},
+			BranchBias: 0.5, CodeFootprint: 4096, DataFootprint: 4096,
+			MeanDepDist: 2, MeanLength: 1000,
+		}},
+		Transition: [][]float64{{1}},
+	}
+	s, err := NewStream(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts [7]int
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[s.Next().Class]++
+	}
+	if f := float64(counts[IntALU]) / float64(n); math.Abs(f-0.5) > 0.02 {
+		t.Fatalf("IntALU fraction %g, want 0.5", f)
+	}
+	if f := float64(counts[Branch]) / float64(n); math.Abs(f-0.2) > 0.02 {
+		t.Fatalf("Branch fraction %g, want 0.2", f)
+	}
+	if counts[FPAdd] != 0 || counts[FPMul] != 0 {
+		t.Fatal("integer workload should have no FP ops")
+	}
+}
+
+func newCPU(t *testing.T, w Workload, seed int64) *CPU {
+	t.Helper()
+	s, err := NewStream(w, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCPU(DefaultCPU(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCPURunProducesSamples(t *testing.T) {
+	c := newCPU(t, GCC(), 7)
+	samples, err := c.Run(200_000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 19 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	var committed uint64
+	for _, s := range samples {
+		committed += s.Committed
+		if s.Cycles == 0 {
+			t.Fatal("zero-cycle sample")
+		}
+	}
+	if committed == 0 {
+		t.Fatal("no instructions committed")
+	}
+}
+
+func TestCPUIPCInPlausibleRange(t *testing.T) {
+	c := newCPU(t, GCC(), 11)
+	// Warm the caches and predictor first, then measure.
+	if _, err := c.Run(5_000_000, 5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := c.Run(5_000_000, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var instr, cycles uint64
+	for _, s := range samples {
+		instr += s.Committed
+		cycles += s.Cycles
+	}
+	ipc := float64(instr) / float64(cycles)
+	if ipc < 0.4 || ipc > 4.0 {
+		t.Fatalf("gcc IPC = %g, implausible for a 4-wide machine", ipc)
+	}
+}
+
+func TestMCFIsMemoryBound(t *testing.T) {
+	// mcf's huge footprint must miss more and run slower than gcc.
+	run := func(w Workload) (ipc, l1dMiss float64) {
+		c := newCPU(t, w, 5)
+		samples, err := c.Run(2_000_000, 2_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var instr, cycles uint64
+		for _, s := range samples {
+			instr += s.Committed
+			cycles += s.Cycles
+		}
+		_, d, _, _ := c.Stats()
+		return float64(instr) / float64(cycles), d
+	}
+	gccIPC, gccMiss := run(GCC())
+	mcfIPC, mcfMiss := run(MCF())
+	if mcfIPC >= gccIPC {
+		t.Fatalf("mcf IPC %g should be below gcc %g", mcfIPC, gccIPC)
+	}
+	if mcfMiss <= gccMiss {
+		t.Fatalf("mcf L1D miss rate %g should exceed gcc %g", mcfMiss, gccMiss)
+	}
+}
+
+func TestARTExercisesFP(t *testing.T) {
+	c := newCPU(t, ART(), 3)
+	samples, err := c.Run(1_000_000, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := samples[0]
+	if s.Counts[UFPAdd] == 0 || s.Counts[UFPMul] == 0 {
+		t.Fatal("art should exercise FP units")
+	}
+	if s.Counts[UFPAdd] < s.Counts[UIntExec]/4 {
+		t.Fatalf("art FP activity too low: fpadd %d vs intexec %d", s.Counts[UFPAdd], s.Counts[UIntExec])
+	}
+	// gcc, by contrast, has idle FP units.
+	g := newCPU(t, GCC(), 3)
+	gs, err := g.Run(1_000_000, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs[0].Counts[UFPAdd] > gs[0].Counts[UIntExec]/20 {
+		t.Fatal("gcc should be integer-dominated")
+	}
+}
+
+func TestCountsConsistency(t *testing.T) {
+	c := newCPU(t, GCC(), 9)
+	samples, err := c.Run(500_000, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := samples[0]
+	// Every load/store touches Dcache, DTB and LdStQ equally.
+	if s.Counts[UDcache] != s.Counts[UDTB] || s.Counts[UDcache] != s.Counts[ULdStQ] {
+		t.Fatalf("mem-path counts disagree: %d %d %d", s.Counts[UDcache], s.Counts[UDTB], s.Counts[ULdStQ])
+	}
+	// Register file activity is 3 ops per mapped instruction.
+	if s.Counts[UIntReg] != 3*s.Counts[UIntMap] {
+		t.Fatalf("IntReg %d != 3×IntMap %d", s.Counts[UIntReg], s.Counts[UIntMap])
+	}
+	// The L2 sees only a subset of L1 traffic.
+	if s.Counts[UL2] > s.Counts[UDcache]+s.Counts[UIcache] {
+		t.Fatal("L2 accesses exceed L1 traffic")
+	}
+}
+
+func TestCPUConfigValidation(t *testing.T) {
+	s, _ := NewStream(GCC(), 1)
+	bad := DefaultCPU()
+	bad.Width = 0
+	if _, err := NewCPU(bad, s); err == nil {
+		t.Fatal("zero width should fail")
+	}
+	if _, err := NewCPU(DefaultCPU(), nil); err == nil {
+		t.Fatal("nil stream should fail")
+	}
+	c, _ := NewCPU(DefaultCPU(), s)
+	if _, err := c.Run(10, 100); err == nil {
+		t.Fatal("total < interval should fail")
+	}
+}
+
+// Property: cache accesses never exceed misses-free bound and miss count is
+// monotone in working-set size for a scanning pattern.
+func TestCacheMissMonotonicityProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		ws1 := 4<<10 + int(raw)<<6
+		ws2 := ws1 * 2
+		m1 := scanMissRate(ws1)
+		m2 := scanMissRate(ws2)
+		return m2 >= m1-0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func scanMissRate(ws int) float64 {
+	c := NewCache(8<<10, 2, 64)
+	for pass := 0; pass < 3; pass++ {
+		for a := uint64(0); a < uint64(ws); a += 64 {
+			c.Access(a)
+		}
+	}
+	return c.MissRate()
+}
+
+func TestUnitNames(t *testing.T) {
+	if UIcache.String() != "Icache" || ULdStQ.String() != "LdStQ" {
+		t.Fatal("unit names wrong")
+	}
+	if Unit(99).String() == "" {
+		t.Fatal("out-of-range unit should still format")
+	}
+}

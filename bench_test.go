@@ -17,6 +17,7 @@ import (
 	"repro/internal/floorplan"
 	"repro/internal/hotspot"
 	"repro/internal/power"
+	"repro/internal/trace"
 	"repro/internal/uarch"
 )
 
@@ -318,6 +319,60 @@ func BenchmarkUarchThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(1e6*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkTraceReplaySweep replays one synthetic power trace against four
+// EV6 model configurations through the batched sweep API (worker pool, one
+// stepping session per scenario). On multicore hosts the sweep scales with
+// GOMAXPROCS; per-scenario solver work is identical either way. See also
+// internal/rcnet's Backend* benchmarks for the dense-vs-sparse comparison.
+func BenchmarkTraceReplaySweep(b *testing.B) {
+	fp := floorplan.EV6()
+	names := fp.Names()
+	tr, err := trace.PulseTrain(names, "IntReg", 3, 5e-3, 5e-3, 0.5e-3, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jobs []hotspot.SweepJob
+	for _, dir := range []hotspot.FlowDirection{hotspot.Uniform, hotspot.LeftToRight, hotspot.TopToBottom} {
+		m, err := hotspot.New(hotspot.Config{
+			Floorplan: fp,
+			Package:   hotspot.OilSilicon,
+			Oil:       hotspot.OilConfig{Direction: dir, TargetRconv: 0.3},
+			Secondary: hotspot.SecondaryPathConfig{Enabled: true},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = append(jobs, hotspot.SweepJob{Model: m, TraceJob: hotspot.TraceJob{
+			Schedule:    func(t float64, p []float64) { copy(p, tr.At(t)) },
+			Duration:    tr.Duration(),
+			SampleEvery: tr.Interval,
+		}})
+	}
+	air, err := hotspot.New(hotspot.Config{
+		Floorplan: fp,
+		Package:   hotspot.AirSink,
+		Air:       hotspot.AirSinkConfig{RConvec: 0.3},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs = append(jobs, hotspot.SweepJob{Model: air, TraceJob: hotspot.TraceJob{
+		Schedule:    func(t float64, p []float64) { copy(p, tr.At(t)) },
+		Duration:    tr.Duration(),
+		SampleEvery: tr.Interval,
+	}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range jobs {
+			jobs[j].Temps = jobs[j].Model.AmbientState()
+		}
+		if _, err := hotspot.RunSweep(jobs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "scenarios/s")
 }
 
 func BenchmarkPowerTraceConversion(b *testing.B) {

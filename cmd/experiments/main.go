@@ -62,13 +62,13 @@ func main() {
 	want := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
-			id = strings.TrimSpace(id)
-			if strings.HasPrefix(id, "ablation") && id == "ablations" {
-				continue
-			}
-			want[id] = true
+			want[strings.TrimSpace(id)] = true
 		}
+		// "ablations" expands to every ablation-* experiment. (It used to be
+		// dropped before the expansion check ever saw it, which made
+		// -only ablations run the whole suite.)
 		if want["ablations"] {
+			delete(want, "ablations")
 			for _, r := range all {
 				if strings.HasPrefix(r.id, "ablation-") {
 					want[r.id] = true

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/floorplan"
+	"repro/internal/hotspot"
 	"repro/internal/trace"
 )
 
@@ -122,18 +123,26 @@ func run(flpName, flpFile, workload, ptrace, pkg, direction string, rconv float6
 
 	if transient {
 		state := append([]float64(nil), res.Temps...)
-		pts, err := model.RunTrace(state, func(t float64, p []float64) {
-			row := tr.At(t)
-			for bi, name := range fp.Names() {
-				c := tr.Column(name)
-				if c >= 0 {
-					p[bi] = row[c]
+		// Route the replay through the batched transient API (a batch of
+		// one), the same worker-pool path scenario sweeps use.
+		batch, err := model.RunTraceBatch([]hotspot.TraceJob{{
+			Temps: state,
+			Schedule: func(t float64, p []float64) {
+				row := tr.At(t)
+				for bi, name := range fp.Names() {
+					c := tr.Column(name)
+					if c >= 0 {
+						p[bi] = row[c]
+					}
 				}
-			}
-		}, tr.Duration(), tr.Interval)
+			},
+			Duration:    tr.Duration(),
+			SampleEvery: tr.Interval,
+		}}, 0)
 		if err != nil {
 			return err
 		}
+		pts := batch[0]
 		res = model.NewResult(state)
 		// Report the peak over the run.
 		peak := make([]float64, fp.N())

@@ -179,25 +179,34 @@ func Fig12TempTraces(opt Options) (*Fig12Result, error) {
 	}
 	fp := floorplan.EV6()
 
-	run := func(m *hotspot.Model) ([]hotspot.TracePoint, error) {
-		avg := avgPowerMap(tr)
-		pAvg, err := m.PowerVector(avg)
+	// Both packages replay the same trace; warm-start each from its own
+	// average-power steady state and fan the two replays across the batched
+	// transient API.
+	prep := func(m *hotspot.Model) (hotspot.SweepJob, error) {
+		pAvg, err := m.PowerVector(avgPowerMap(tr))
 		if err != nil {
-			return nil, err
+			return hotspot.SweepJob{}, err
 		}
-		state := m.SteadyState(pAvg).Temps
-		return m.RunTrace(state, func(t float64, p []float64) {
-			copy(p, tr.At(t))
-		}, tr.Duration(), tr.Interval)
+		return hotspot.SweepJob{Model: m, TraceJob: hotspot.TraceJob{
+			Temps:       m.SteadyState(pAvg).Temps,
+			Schedule:    func(t float64, p []float64) { copy(p, tr.At(t)) },
+			Duration:    tr.Duration(),
+			SampleEvery: tr.Interval,
+		}}, nil
 	}
-	oilPts, err := run(oil)
+	oilJob, err := prep(oil)
 	if err != nil {
 		return nil, err
 	}
-	airPts, err := run(air)
+	airJob, err := prep(air)
 	if err != nil {
 		return nil, err
 	}
+	pts, err := hotspot.RunSweep([]hotspot.SweepJob{oilJob, airJob}, 0)
+	if err != nil {
+		return nil, err
+	}
+	oilPts, airPts := pts[0], pts[1]
 
 	// Pick the five hottest blocks by time-average air temperature.
 	meanC := map[string]float64{}

@@ -212,22 +212,23 @@ func Fig8ShortTransient(opt Options) (*Fig8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	run := func(m *hotspot.Model) ([]float64, []float64, error) {
-		avg := avgPowerMap(tr)
-		pAvg, err := m.PowerVector(avg)
+	prep := func(m *hotspot.Model) (hotspot.SweepJob, error) {
+		pAvg, err := m.PowerVector(avgPowerMap(tr))
 		if err != nil {
-			return nil, nil, err
+			return hotspot.SweepJob{}, err
 		}
-		state := m.SteadyState(pAvg).Temps
+		return hotspot.SweepJob{Model: m, TraceJob: hotspot.TraceJob{
+			Temps:       m.SteadyState(pAvg).Temps,
+			Schedule:    func(t float64, p []float64) { copy(p, tr.At(t)) },
+			Duration:    0.1,
+			SampleEvery: 1e-3,
+		}}, nil
+	}
+	// The rise above the period minimum of the pulsed block.
+	series := func(pts []hotspot.TracePoint) (times, temps []float64) {
 		idx := fp.Index(hot)
-		pts, err := m.RunTrace(state, func(t float64, p []float64) {
-			copy(p, tr.At(t))
-		}, 0.1, 1e-3)
-		if err != nil {
-			return nil, nil, err
-		}
-		times := make([]float64, len(pts))
-		temps := make([]float64, len(pts))
+		times = make([]float64, len(pts))
+		temps = make([]float64, len(pts))
 		minT := pts[0].BlockC[idx]
 		for _, p := range pts {
 			if p.BlockC[idx] < minT {
@@ -238,7 +239,7 @@ func Fig8ShortTransient(opt Options) (*Fig8Result, error) {
 			times[i] = p.Time
 			temps[i] = p.BlockC[idx] - minT
 		}
-		return times, temps, nil
+		return times, temps
 	}
 	oil, err := evOil(hotspot.Uniform, 1.0, false, warmupAmbientK)
 	if err != nil {
@@ -248,14 +249,20 @@ func Fig8ShortTransient(opt Options) (*Fig8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	times, oilSeries, err := run(oil)
+	oilJob, err := prep(oil)
 	if err != nil {
 		return nil, err
 	}
-	_, airSeries, err := run(air)
+	airJob, err := prep(air)
 	if err != nil {
 		return nil, err
 	}
+	pts, err := hotspot.RunSweep([]hotspot.SweepJob{oilJob, airJob}, 0)
+	if err != nil {
+		return nil, err
+	}
+	times, oilSeries := series(pts[0])
+	_, airSeries := series(pts[1])
 	res := &Fig8Result{Times: times, OilRiseK: oilSeries, AirRiseK: airSeries}
 	coolHalf := func(s []float64) (swing, half float64) {
 		pi, pv := 0, s[0]

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/materials"
+	"repro/internal/pool"
 	"repro/internal/rcnet"
 )
 
@@ -177,9 +178,24 @@ type TracePoint struct {
 // RunTrace drives the model with a power schedule: schedule fills the
 // per-block power slice (floorplan order, W) for the interval starting at
 // time t. The state is sampled every sampleEvery seconds.
+//
+// RunTrace keeps all mutable solver state per call, so it is safe to run
+// several traces concurrently on one Model (each with its own temps and
+// schedule); RunTraceBatch and RunSweep do exactly that.
 func (m *Model) RunTrace(temps []float64, schedule func(t float64, blockPower []float64), duration, sampleEvery float64) ([]TracePoint, error) {
+	samples, err := m.solver.TransientTrace(temps, m.nodeSchedule(schedule), duration, sampleEvery)
+	if err != nil {
+		return nil, err
+	}
+	return m.tracePoints(samples), nil
+}
+
+// nodeSchedule adapts a per-block schedule to the solver's per-node power
+// contract. Each returned closure owns its block-power buffer, so distinct
+// jobs never share scratch.
+func (m *Model) nodeSchedule(schedule func(t float64, blockPower []float64)) func(t float64, nodePower []float64) {
 	blockPower := make([]float64, m.cfg.Floorplan.N())
-	samples, err := m.solver.TransientTrace(temps, func(t float64, nodePower []float64) {
+	return func(t float64, nodePower []float64) {
 		schedule(t, blockPower)
 		for i := range nodePower {
 			nodePower[i] = 0
@@ -187,16 +203,82 @@ func (m *Model) RunTrace(temps []float64, schedule func(t float64, blockPower []
 		for bi, w := range blockPower {
 			nodePower[m.blockNode[bi]] = w
 		}
-	}, duration, sampleEvery)
-	if err != nil {
-		return nil, err
 	}
+}
+
+func (m *Model) tracePoints(samples []rcnet.Sample) []TracePoint {
 	out := make([]TracePoint, len(samples))
 	for i, s := range samples {
 		res := m.NewResult(s.Temp)
 		out[i] = TracePoint{Time: s.Time, BlockC: res.BlocksC()}
 	}
-	return out, nil
+	return out
+}
+
+// TraceJob describes one independent trace replay: an initial temperature
+// state (advanced in place), a per-block power schedule, and the replay
+// window.
+type TraceJob struct {
+	Temps       []float64
+	Schedule    func(t float64, blockPower []float64)
+	Duration    float64
+	SampleEvery float64
+}
+
+// RunTraceBatch replays N independent power schedules against this model,
+// fanned across a goroutine worker pool (workers ≤ 0 = GOMAXPROCS). The
+// compiled conductance operator is shared read-only; every job gets its own
+// stepping session and scratch. Results are indexed like jobs.
+func (m *Model) RunTraceBatch(jobs []TraceJob, workers int) ([][]TracePoint, error) {
+	rjobs := make([]rcnet.TraceJob, len(jobs))
+	for i, j := range jobs {
+		rjobs[i] = rcnet.TraceJob{
+			Temp:        j.Temps,
+			Schedule:    m.nodeSchedule(j.Schedule),
+			Duration:    j.Duration,
+			SampleEvery: j.SampleEvery,
+		}
+	}
+	samples, err := m.solver.TransientBatch(rjobs, workers)
+	out := make([][]TracePoint, len(jobs))
+	for i, s := range samples {
+		if s != nil {
+			out[i] = m.tracePoints(s)
+		}
+	}
+	return out, err
+}
+
+// SweepJob pairs a model with one trace replay, for sweeps that span several
+// model configurations (packages, flow directions, ablations).
+type SweepJob struct {
+	Model *Model
+	TraceJob
+}
+
+// RunSweep replays scenario jobs across a worker pool, where each job may
+// target a different Model. Jobs sharing a Model are safe: replays share
+// only the model's immutable compiled operator. workers ≤ 0 uses GOMAXPROCS.
+// Results are indexed like jobs; the first error (by job order) is returned
+// after all jobs finish.
+func RunSweep(jobs []SweepJob, workers int) ([][]TracePoint, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	results := make([][]TracePoint, len(jobs))
+	errs := make([]error, len(jobs))
+	pool.Run(len(jobs), workers, func() func(int) {
+		return func(j int) {
+			job := jobs[j]
+			results[j], errs[j] = job.Model.RunTrace(job.Temps, job.Schedule, job.Duration, job.SampleEvery)
+		}
+	})
+	for j, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("hotspot: sweep job %d: %w", j, err)
+		}
+	}
+	return results, nil
 }
 
 // DominantTimeConstant returns the network's slowest thermal time constant

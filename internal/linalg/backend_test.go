@@ -1,0 +1,161 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// spdEntries builds a random symmetric diagonally-dominant (hence SPD)
+// system in coordinate form, shaped like an RC conductance matrix: a sparse
+// graph Laplacian plus positive diagonal "ambient" terms.
+func spdEntries(rng *rand.Rand, n int) []Coord {
+	var entries []Coord
+	diag := make([]float64, n)
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		g := 0.1 + rng.Float64()
+		entries = append(entries,
+			Coord{I: i, J: j, V: -g},
+			Coord{I: j, J: i, V: -g})
+		diag[i] += g
+		diag[j] += g
+	}
+	for i := 0; i < n; i++ {
+		diag[i] += 0.05 + rng.Float64() // ambient tie keeps it nonsingular
+		entries = append(entries, Coord{I: i, J: i, V: diag[i]})
+	}
+	return entries
+}
+
+func TestBackendsAgreeOnSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 5, 17, 60} {
+		entries := spdEntries(rng, n)
+		dense, err := (DenseBackend{}).Assemble(n, entries)
+		if err != nil {
+			t.Fatalf("n=%d dense: %v", n, err)
+		}
+		sparse, err := (SparseBackend{}).Assemble(n, entries)
+		if err != nil {
+			t.Fatalf("n=%d sparse: %v", n, err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		xd, err := dense.Solve(b, nil, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs, err := sparse.Solve(b, nil, nil, &Workspace{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xd {
+			if math.Abs(xd[i]-xs[i]) > 1e-7*(1+math.Abs(xd[i])) {
+				t.Fatalf("n=%d: x[%d] dense %g vs sparse %g", n, i, xd[i], xs[i])
+			}
+		}
+		// Apply must agree too.
+		yd := make([]float64, n)
+		ys := make([]float64, n)
+		dense.Apply(xd, yd)
+		sparse.Apply(xd, ys)
+		for i := range yd {
+			if math.Abs(yd[i]-ys[i]) > 1e-9*(1+math.Abs(yd[i])) {
+				t.Fatalf("n=%d: Apply mismatch at %d: %g vs %g", n, i, yd[i], ys[i])
+			}
+		}
+	}
+}
+
+func TestBackendShiftMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 24
+	entries := spdEntries(rng, n)
+	dense, _ := (DenseBackend{}).Assemble(n, entries)
+	sparse, _ := (SparseBackend{}).Assemble(n, entries)
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = rng.Float64() * 10
+	}
+	ds, err := dense.Shift(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := sparse.Shift(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	xd, err := ds.Solve(b, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := ss.Solve(b, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xd {
+		if math.Abs(xd[i]-xs[i]) > 1e-8*(1+math.Abs(xd[i])) {
+			t.Fatalf("shifted solve mismatch at %d: %g vs %g", i, xd[i], xs[i])
+		}
+	}
+}
+
+func TestCSRShiftedInsertsMissingDiagonal(t *testing.T) {
+	// Row 0 has no structural diagonal.
+	m := NewCSR(2, []Coord{{I: 0, J: 1, V: 3}, {I: 1, J: 0, V: 3}, {I: 1, J: 1, V: 4}})
+	s := m.Shifted([]float64{5, 1})
+	if got := s.Diagonal(); got[0] != 5 || got[1] != 5 {
+		t.Fatalf("diagonal after shift = %v, want [5 5]", got)
+	}
+	// Off-diagonals intact and columns still sorted.
+	x := []float64{1, 2}
+	y := s.MulVec(x, nil)
+	if y[0] != 5*1+3*2 || y[1] != 3*1+5*2 {
+		t.Fatalf("MulVec after shift = %v", y)
+	}
+}
+
+func TestDenseAssembleReportsSingular(t *testing.T) {
+	// A Laplacian with no ambient tie is singular: assembly must fail.
+	entries := []Coord{
+		{I: 0, J: 0, V: 1}, {I: 1, J: 1, V: 1},
+		{I: 0, J: 1, V: -1}, {I: 1, J: 0, V: -1},
+	}
+	if _, err := (DenseBackend{}).Assemble(2, entries); err == nil {
+		t.Fatal("expected singular-matrix error")
+	}
+}
+
+func TestWorkspaceReuseAcrossSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ws := &Workspace{}
+	for _, n := range []int{40, 8, 64} {
+		op, err := (SparseBackend{}).Assemble(n, spdEntries(rng, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := op.Solve(b, nil, nil, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Verify the residual directly.
+		y := make([]float64, n)
+		op.Apply(x, y)
+		for i := range y {
+			if math.Abs(y[i]-b[i]) > 1e-7*(1+math.Abs(b[i])) {
+				t.Fatalf("n=%d residual too large at %d", n, i)
+			}
+		}
+	}
+}

@@ -1,12 +1,13 @@
-// Package linalg provides the dense and sparse linear-algebra kernels used by
-// the thermal solvers: dense LU and Cholesky factorizations for compact RC
-// networks, a conjugate-gradient solver for the large symmetric
-// positive-definite systems produced by the finite-volume reference solver,
-// and small vector utilities.
+// Package linalg provides the linear-algebra kernels used by the thermal
+// solvers: dense LU and Cholesky factorizations, a CSR conjugate-gradient
+// solver, and small vector utilities — unified behind the Operator/Backend
+// interface in backend.go, which every thermal solver (compact RC and
+// finite-volume reference alike) targets instead of a concrete matrix
+// representation. See DESIGN.md §1.3 for the architecture.
 //
 // The package is deliberately dependency-free (stdlib only) and sized for the
-// problems in this repository: compact thermal models have O(100) unknowns,
-// the reference grids O(10^4-10^5).
+// problems in this repository: compact thermal models have O(10-10^3)
+// unknowns, the reference grids O(10^4-10^5).
 package linalg
 
 import (

@@ -111,80 +111,12 @@ type CGResult struct {
 
 // SolveCG solves A·x = b for symmetric positive-definite A using a
 // Jacobi-preconditioned conjugate gradient iteration. x0 may be nil for a
-// zero initial guess.
+// zero initial guess. This is a convenience wrapper over the workspace-based
+// implementation shared with SparseOperator.
 func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, CGResult) {
-	n := a.N
-	if len(b) != n {
-		panic("linalg: SolveCG dimension mismatch")
-	}
-	if opt.Tol == 0 {
-		opt.Tol = 1e-9
-	}
-	if opt.MaxIter == 0 {
-		opt.MaxIter = 10 * n
-	}
-	x := make([]float64, n)
-	if x0 != nil {
-		copy(x, x0)
-	}
-	d := a.Diagonal()
-	inv := make([]float64, n)
-	for i, v := range d {
-		if v == 0 {
-			inv[i] = 1
-		} else {
-			inv[i] = 1 / v
-		}
-	}
-	r := make([]float64, n)
-	ax := a.MulVec(x, nil)
-	for i := range r {
-		r[i] = b[i] - ax[i]
-	}
-	z := make([]float64, n)
-	for i := range z {
-		z[i] = inv[i] * r[i]
-	}
-	p := make([]float64, n)
-	copy(p, z)
-	bnorm := Norm2(b)
-	if bnorm == 0 {
-		bnorm = 1
-	}
-	if rn := Norm2(r) / bnorm; rn < opt.Tol {
-		return x, CGResult{Iterations: 0, Residual: rn, Converged: true}
-	}
-	rz := Dot(r, z)
-	ap := make([]float64, n)
-	var res CGResult
-	for it := 0; it < opt.MaxIter; it++ {
-		a.MulVec(p, ap)
-		pap := Dot(p, ap)
-		if pap == 0 {
-			break
-		}
-		alpha := rz / pap
-		for i := range x {
-			x[i] += alpha * p[i]
-			r[i] -= alpha * ap[i]
-		}
-		rn := Norm2(r) / bnorm
-		res.Iterations = it + 1
-		res.Residual = rn
-		if rn < opt.Tol {
-			res.Converged = true
-			return x, res
-		}
-		for i := range z {
-			z[i] = inv[i] * r[i]
-		}
-		rzNew := Dot(r, z)
-		beta := rzNew / rz
-		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
-	}
+	x := make([]float64, a.N)
+	var ws Workspace
+	res := solveCGWS(a, b, x0, x, opt, &ws)
 	return x, res
 }
 

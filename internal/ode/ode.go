@@ -56,8 +56,11 @@ type AdaptiveOptions struct {
 	// duration·1e-12). The integrator returns an error rather than
 	// silently under-stepping.
 	MinStep float64
-	// InitialStep seeds the controller (default duration/16).
+	// InitialStep seeds the controller (default duration/16, clamped to
+	// MaxStep when one is set).
 	InitialStep float64
+	// MaxStep caps the step size the controller may grow to (0 = no cap).
+	MaxStep float64
 	// MaxSteps bounds the total number of accepted steps (default 10^7).
 	MaxSteps int
 }
@@ -88,6 +91,9 @@ func AdaptiveRK4(f Derivs, t0 float64, y []float64, duration float64, opt Adapti
 	}
 	if opt.InitialStep == 0 {
 		opt.InitialStep = duration / 16
+	}
+	if opt.MaxStep > 0 && opt.InitialStep > opt.MaxStep {
+		opt.InitialStep = opt.MaxStep
 	}
 	if opt.MaxSteps == 0 {
 		opt.MaxSteps = 10_000_000
@@ -126,9 +132,12 @@ func AdaptiveRK4(f Derivs, t0 float64, y []float64, duration float64, opt Adapti
 			if st.Accepted > opt.MaxSteps {
 				return st, fmt.Errorf("ode: exceeded %d steps", opt.MaxSteps)
 			}
-			// Grow cautiously.
+			// Grow cautiously, honoring the step-size cap.
 			if errMax < opt.AbsTol/32 {
 				h *= 2
+			}
+			if opt.MaxStep > 0 && h > opt.MaxStep {
+				h = opt.MaxStep
 			}
 		} else {
 			st.Rejected++

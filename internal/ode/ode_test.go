@@ -143,3 +143,35 @@ func TestFixedVsAdaptiveAgree(t *testing.T) {
 		}
 	}
 }
+
+// TestAdaptiveRK4MaxStepHonored: with a loose tolerance the controller would
+// grow the step without bound; MaxStep must cap it, which pins the accepted
+// step count to at least duration/MaxStep.
+func TestAdaptiveRK4MaxStepHonored(t *testing.T) {
+	derivs := func(tm float64, y, dst []float64) {
+		dst[0] = -0.01 * y[0] // slow decay: everything is accepted
+	}
+	const maxStep = 0.125
+	y := []float64{1}
+	st, err := AdaptiveRK4(derivs, 0, y, 4.0, AdaptiveOptions{AbsTol: 1e3, MaxStep: maxStep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LastStep > maxStep+1e-12 {
+		t.Fatalf("last step %g exceeds MaxStep %g", st.LastStep, maxStep)
+	}
+	if min := int(4.0 / maxStep); st.Accepted < min {
+		t.Fatalf("accepted %d steps, a MaxStep of %g over 4 s needs at least %d", st.Accepted, maxStep, min)
+	}
+	// And a MaxStep below the default initial step must clamp the first
+	// step too (the regression this test guards: MaxStep used to be fed to
+	// InitialStep, which only seeded the first step and never capped growth).
+	y = []float64{1}
+	st, err = AdaptiveRK4(derivs, 0, y, 4.0, AdaptiveOptions{AbsTol: 1e3, MaxStep: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accepted < 80 {
+		t.Fatalf("accepted %d steps, want ≥ 80 with MaxStep 0.05 over 4 s", st.Accepted)
+	}
+}

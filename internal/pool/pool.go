@@ -1,0 +1,46 @@
+// Package pool provides the fixed-size goroutine worker pool shared by the
+// batched thermal-simulation APIs (rcnet.Solver.TransientBatch,
+// hotspot.RunSweep). It exists so the concurrency pattern — worker clamp,
+// job fan-out, completion barrier — lives in exactly one place.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Run invokes a job function for every index in [0, n) across a pool of
+// worker goroutines and returns once all jobs have completed. workers ≤ 0
+// uses GOMAXPROCS; the pool never exceeds n workers. Each worker calls
+// newWorker once to obtain its job function, which is where per-worker state
+// (scratch buffers, operator caches) is created; jobs are handed to workers
+// in index order but may complete in any order. Job functions must record
+// their own results/errors — Run only guarantees completion.
+func Run(n, workers int, newWorker func() func(job int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run := newWorker()
+			for j := range idx {
+				run(j)
+			}
+		}()
+	}
+	for j := 0; j < n; j++ {
+		idx <- j
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -1,0 +1,37 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllJobs(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 3, 100} {
+		const n = 37
+		var done [n]int32
+		var workersMade int32
+		Run(n, workers, func() func(int) {
+			atomic.AddInt32(&workersMade, 1)
+			return func(j int) { atomic.AddInt32(&done[j], 1) }
+		})
+		for j, c := range done {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, j, c)
+			}
+		}
+		if w := int(workersMade); w > n || (workers > 0 && workers <= n && w != workers) {
+			t.Fatalf("workers=%d: made %d worker states", workers, w)
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	called := false
+	Run(0, 4, func() func(int) {
+		called = true
+		return func(int) {}
+	})
+	if called {
+		t.Fatal("no workers should spin up for an empty job list")
+	}
+}

@@ -1,0 +1,163 @@
+package rcnet
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// Benchmarks comparing the dense-LU and sparse-CG backends across network
+// sizes (DESIGN.md §4.2). The networks are floorplan-shaped grids from the
+// parity tests: ~5 nonzeros per row, silicon + stiff oil boundary nodes.
+//
+//	go test ./internal/rcnet -bench Backend -benchtime 2x
+//
+// The headline numbers (steady state at ≥1000 nodes) are recorded in
+// CHANGES.md.
+
+// benchSizes maps a label to grid dimensions; node count is 2·nx·ny.
+var benchSizes = []struct {
+	name   string
+	nx, ny int
+}{
+	{"N=128", 8, 8},
+	{"N=512", 16, 16},
+	{"N=1058", 23, 23},
+	{"N=2048", 32, 32},
+}
+
+var benchBackends = []struct {
+	name    string
+	backend linalg.Backend
+}{
+	{"dense", linalg.DenseBackend{}},
+	{"sparse", linalg.SparseBackend{}},
+}
+
+func BenchmarkBackendCompile(b *testing.B) {
+	for _, sz := range benchSizes {
+		net := gridNetwork(rand.New(rand.NewSource(1)), sz.nx, sz.ny)
+		for _, bk := range benchBackends {
+			b.Run(fmt.Sprintf("%s/%s", bk.name, sz.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := net.CompileWith(bk.backend); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBackendSteadyState measures the full time-to-answer for one
+// steady state: assembly/factorization plus the solve. This is the cost a
+// scenario server pays per new network configuration, and the headline
+// dense-vs-sparse comparison: dense pays O(n³) to factor, sparse O(nnz) per
+// CG iteration.
+func BenchmarkBackendSteadyState(b *testing.B) {
+	for _, sz := range benchSizes {
+		rng := rand.New(rand.NewSource(2))
+		net := gridNetwork(rng, sz.nx, sz.ny)
+		p := randomPower(rng, net.N())
+		for _, bk := range benchBackends {
+			b.Run(fmt.Sprintf("%s/%s", bk.name, sz.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					s, err := net.CompileWith(bk.backend)
+					if err != nil {
+						b.Fatal(err)
+					}
+					s.SteadyState(p)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBackendSteadyStateSolveOnly measures repeated solves against one
+// compiled solver (factorization amortized away): dense back-substitution is
+// O(n²), sparse warm-started CG O(nnz·iters).
+func BenchmarkBackendSteadyStateSolveOnly(b *testing.B) {
+	for _, sz := range benchSizes {
+		rng := rand.New(rand.NewSource(3))
+		net := gridNetwork(rng, sz.nx, sz.ny)
+		p := randomPower(rng, net.N())
+		for _, bk := range benchBackends {
+			s, err := net.CompileWith(bk.backend)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/%s", bk.name, sz.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					s.SteadyState(p)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBackendTransientBE measures a 100-step fixed-dt backward-Euler
+// transient (operator shift cached after the first step).
+func BenchmarkBackendTransientBE(b *testing.B) {
+	for _, sz := range benchSizes {
+		rng := rand.New(rand.NewSource(4))
+		net := gridNetwork(rng, sz.nx, sz.ny)
+		p := randomPower(rng, net.N())
+		for _, bk := range benchBackends {
+			s, err := net.CompileWith(bk.backend)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/%s", bk.name, sz.name), func(b *testing.B) {
+				temp := s.AmbientVector()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := s.TransientBE(temp, p, 0.1, 1e-3); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTransientBatch measures trace replay throughput of the batched
+// API at 1 worker vs all cores: 16 independent 100-step replays on a
+// ~1000-node sparse-backed network.
+func BenchmarkTransientBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	net := gridNetwork(rng, 23, 23)
+	s, err := net.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const jobs = 16
+	powers := make([][]float64, jobs)
+	for j := range powers {
+		powers[j] = randomPower(rng, net.N())
+	}
+	mkJobs := func() []TraceJob {
+		out := make([]TraceJob, jobs)
+		for j := range out {
+			p := powers[j]
+			out[j] = TraceJob{
+				Temp:        s.AmbientVector(),
+				Schedule:    func(_ float64, dst []float64) { copy(dst, p) },
+				Duration:    0.1,
+				SampleEvery: 1e-3,
+			}
+		}
+		return out
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.TransientBatch(mkJobs(), workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/linalg"
 	"repro/internal/ode"
+	"repro/internal/pool"
 )
 
 // Network is a thermal RC network under construction. The zero value is not
@@ -129,32 +130,80 @@ func (n *Network) checkIndex(i int) {
 	}
 }
 
-// Solver is an assembled network ready for simulation. It caches the dense
-// conductance matrix and its factorizations. Create with Compile; a Solver
-// must not outlive subsequent mutations of its Network.
-type Solver struct {
-	net *Network
-	// a is the conductance (Laplacian + ambient) matrix: a[i][i] holds the
-	// sum of all conductances incident to i, a[i][j] = -g(i,j).
-	a      *linalg.Matrix
-	lu     *linalg.LU
-	invCap []float64
+// DenseCutoff is the node count at or below which Compile picks the dense
+// LU backend: tiny networks amortize no sparse bookkeeping, and the dense
+// path doubles as the parity oracle. Above it Compile assembles CSR and
+// solves with Jacobi-preconditioned conjugate gradients.
+const DenseCutoff = 64
 
-	// Backward-Euler cache, keyed by step size.
-	beStep float64
-	beLU   *linalg.LU
+// Solver is an assembled network ready for simulation. It holds the
+// conductance system behind a linalg.Operator (dense LU or sparse CG,
+// chosen at Compile) plus a cached backward-Euler operator per step size.
+// Create with Compile; a Solver must not outlive subsequent mutations of
+// its Network.
+//
+// The steady-state and fixed-dt methods (SteadyState, StepBE, TransientBE)
+// share per-solver caches and must not be called concurrently. Trace replay
+// (TransientTrace) keeps all mutable state in a per-call session and is safe
+// to invoke from multiple goroutines; TransientBatch does exactly that.
+type Solver struct {
+	net     *Network
+	backend linalg.Backend
+	// op is the conductance (Laplacian + ambient) operator: diag holds the
+	// sum of all conductances incident to i, off-diagonal (i,j) = -g(i,j).
+	op     linalg.Operator
+	invCap []float64
+	ws     linalg.Workspace // scratch for the serial entry points
+
+	// serial is the lazily-created stepping session backing StepBE and
+	// TransientBE (it holds the cached backward-Euler operator per step
+	// size); concurrent replays create their own sessions instead.
+	serial *session
+
+	// rescue is the lazily-built dense fallback for steady solves the
+	// iterative backend stalls on (see rescueSolve).
+	rescue linalg.Operator
 }
 
-// Compile assembles the network into a solver. It verifies every node has a
-// path to ambient (otherwise the steady state is unbounded).
+// Compile assembles the network into a solver, picking the dense backend for
+// networks of at most DenseCutoff nodes and the sparse backend above. It
+// verifies every node has a path to ambient (otherwise the conductance
+// matrix is singular and the steady state unbounded).
 func (n *Network) Compile() (*Solver, error) {
+	if n.N() <= DenseCutoff {
+		return n.CompileWith(linalg.DenseBackend{})
+	}
+	return n.CompileWith(linalg.SparseBackend{})
+}
+
+// CompileWith assembles the network onto an explicit solver backend. Use it
+// to force the dense oracle or a specially-configured sparse backend; most
+// callers want Compile.
+func (n *Network) CompileWith(backend linalg.Backend) (*Solver, error) {
 	sz := n.N()
 	if sz == 0 {
 		return nil, fmt.Errorf("rcnet: empty network")
 	}
-	a := linalg.NewMatrix(sz, sz)
-	// Assemble in sorted pair order so floating-point accumulation (and
-	// therefore every downstream result) is deterministic across runs.
+	if err := n.checkGrounded(); err != nil {
+		return nil, err
+	}
+	op, err := backend.Assemble(sz, n.assemble())
+	if err != nil {
+		return nil, fmt.Errorf("rcnet: %s assembly: %w", backend.Name(), err)
+	}
+	inv := make([]float64, sz)
+	for i, c := range n.cap {
+		inv[i] = 1 / c
+	}
+	return &Solver{net: n, backend: backend, op: op, invCap: inv}, nil
+}
+
+// assemble emits the conductance system in coordinate form. Pairs are
+// visited in sorted order and the diagonal is accumulated in that same
+// order, so floating-point accumulation (and therefore every downstream
+// result) is deterministic across runs and identical for both backends.
+func (n *Network) assemble() []linalg.Coord {
+	sz := n.N()
 	keys := make([][2]int, 0, len(n.pairs))
 	for ij := range n.pairs {
 		keys = append(keys, ij)
@@ -165,36 +214,129 @@ func (n *Network) Compile() (*Solver, error) {
 		}
 		return keys[x][1] < keys[y][1]
 	})
+	diag := make([]float64, sz)
+	entries := make([]linalg.Coord, 0, 2*len(keys)+sz)
 	for _, ij := range keys {
 		g := n.pairs[ij]
 		i, j := ij[0], ij[1]
-		a.Add(i, i, g)
-		a.Add(j, j, g)
-		a.Add(i, j, -g)
-		a.Add(j, i, -g)
+		diag[i] += g
+		diag[j] += g
+		entries = append(entries,
+			linalg.Coord{I: i, J: j, V: -g},
+			linalg.Coord{I: j, J: i, V: -g})
 	}
 	for i, g := range n.ambG {
-		a.Add(i, i, g)
+		diag[i] += g
 	}
-	lu, err := linalg.FactorLU(a)
-	if err != nil {
-		return nil, fmt.Errorf("rcnet: network has no path to ambient (floating island): %w", err)
+	for i, d := range diag {
+		entries = append(entries, linalg.Coord{I: i, J: i, V: d})
 	}
-	inv := make([]float64, sz)
-	for i, c := range n.cap {
-		inv[i] = 1 / c
+	return entries
+}
+
+// checkGrounded verifies every node reaches a node with an ambient
+// conductance through the pair graph. The dense backend would also catch the
+// resulting singularity during factorization, but the iterative sparse
+// backend cannot, so the structural check keeps both backends' Compile
+// behavior identical.
+func (n *Network) checkGrounded() error {
+	sz := n.N()
+	parent := make([]int, sz)
+	for i := range parent {
+		parent[i] = i
 	}
-	return &Solver{net: n, a: a, lu: lu, invCap: inv}, nil
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for ij := range n.pairs {
+		a, b := find(ij[0]), find(ij[1])
+		if a != b {
+			parent[a] = b
+		}
+	}
+	grounded := make(map[int]bool, sz)
+	for i, g := range n.ambG {
+		if g > 0 {
+			grounded[find(i)] = true
+		}
+	}
+	for i := 0; i < sz; i++ {
+		if !grounded[find(i)] {
+			return fmt.Errorf("rcnet: network has no path to ambient (floating island at node %q)", n.names[i])
+		}
+	}
+	return nil
 }
 
 // Net returns the underlying network.
 func (s *Solver) Net() *Network { return s.net }
 
+// Backend returns the name of the linear-algebra backend in use ("dense" or
+// "sparse").
+func (s *Solver) Backend() string { return s.backend.Name() }
+
 // SteadyState returns the equilibrium temperatures (Kelvin) for constant
-// per-node power injection (W). power must have length N.
+// per-node power injection (W). power must have length N. If the iterative
+// backend fails to converge (catastrophically ill-conditioned conductances),
+// the solve falls back to an exact dense LU, so a grounded network always
+// gets an answer.
 func (s *Solver) SteadyState(power []float64) []float64 {
-	rhs := s.rhs(power)
-	return s.lu.Solve(rhs)
+	return s.solveRefined(s.rhs(power), s.AmbientVector())
+}
+
+// solveRefined solves A·x = b to near-direct accuracy: one backend solve
+// plus, when the residual shows the backend stopped at an iterative
+// tolerance, a step of iterative refinement. This keeps steady-state
+// answers from the sparse backend within oracle distance of the dense LU
+// (network invariants like reciprocity hold to ~1e-12 instead of the CG
+// tolerance), at the cost of at most one extra solve. If the iterative
+// backend stalls outright (catastrophically ill-conditioned conductances),
+// the solve falls back to a lazily-built dense LU rather than failing.
+func (s *Solver) solveRefined(b, warm []float64) []float64 {
+	x, err := s.op.Solve(b, warm, nil, &s.ws)
+	if err != nil {
+		return s.rescueSolve(b)
+	}
+	if !s.op.Iterative() {
+		return x // direct solve: refinement would buy nothing
+	}
+	r := make([]float64, len(b))
+	s.op.Apply(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	if linalg.Norm2(r) > 1e-14*linalg.Norm2(b) {
+		if d, err := s.op.Solve(r, nil, nil, &s.ws); err == nil {
+			linalg.AXPY(1, d, x)
+		}
+	}
+	return x
+}
+
+// rescueSolve is the last-resort path for systems the iterative backend
+// cannot converge on: reassemble once onto the dense LU oracle and solve
+// directly. O(n³) on first use, but it turns a would-be crash on a
+// pathological network into a slow, exact answer. It panics only if the
+// dense factorization itself fails, which checkGrounded rules out for any
+// network Compile accepted.
+func (s *Solver) rescueSolve(b []float64) []float64 {
+	if s.rescue == nil {
+		op, err := linalg.DenseBackend{}.Assemble(s.net.N(), s.net.assemble())
+		if err != nil {
+			panic(fmt.Sprintf("rcnet: dense rescue assembly failed: %v", err))
+		}
+		s.rescue = op
+	}
+	x, err := s.rescue.Solve(b, nil, nil, nil)
+	if err != nil {
+		panic(fmt.Sprintf("rcnet: dense rescue solve failed: %v", err))
+	}
+	return x
 }
 
 // rhs builds P + G_amb·T_amb.
@@ -217,17 +359,15 @@ func (s *Solver) AmbientVector() []float64 {
 	return t
 }
 
-// derivs computes dT/dt = C⁻¹ (P + G_amb·T_amb − A·T).
+// derivs computes dT/dt = C⁻¹ (P + G_amb·T_amb − A·T). The A·T product goes
+// through the operator, so it costs O(nnz) on the sparse backend instead of
+// the dense O(n²) row sweep.
 func (s *Solver) derivs(power []float64) ode.Derivs {
+	at := make([]float64, s.net.N())
 	return func(_ float64, temp, dst []float64) {
-		sz := s.net.N()
-		for i := 0; i < sz; i++ {
-			row := s.a.Row(i)
-			acc := power[i] + s.net.ambG[i]*s.net.ambient
-			for j, g := range row {
-				acc -= g * temp[j]
-			}
-			dst[i] = acc * s.invCap[i]
+		s.op.Apply(temp, at)
+		for i := range dst {
+			dst[i] = (power[i] + s.net.ambG[i]*s.net.ambient - at[i]) * s.invCap[i]
 		}
 	}
 }
@@ -237,8 +377,9 @@ type TransientOptions struct {
 	// AbsTol is the adaptive-RK4 per-step tolerance in Kelvin
 	// (default 1e-4 K).
 	AbsTol float64
-	// MaxStep caps the integration step (0 = duration/16 initial,
-	// unlimited growth).
+	// MaxStep caps the adaptive integrator's step size (0 = no cap). Use it
+	// to bound the power-constant interval or to force resolution of fast
+	// features the error estimator might step over.
 	MaxStep float64
 }
 
@@ -248,43 +389,39 @@ func (s *Solver) Transient(temp, power []float64, duration float64, opt Transien
 	if len(temp) != s.net.N() {
 		return ode.Stats{}, fmt.Errorf("rcnet: temperature vector length %d, want %d", len(temp), s.net.N())
 	}
-	aOpt := ode.AdaptiveOptions{AbsTol: opt.AbsTol}
-	if opt.MaxStep > 0 {
-		aOpt.InitialStep = opt.MaxStep
-	}
+	aOpt := ode.AdaptiveOptions{AbsTol: opt.AbsTol, MaxStep: opt.MaxStep}
 	return ode.AdaptiveRK4(s.derivs(power), 0, temp, duration, aOpt)
+}
+
+// beOperator derives the backward-Euler operator (C/dt + A) from the
+// conductance operator.
+func (s *Solver) beOperator(dt float64) (linalg.Operator, error) {
+	shift := make([]float64, s.net.N())
+	for i, c := range s.net.cap {
+		shift[i] = c / dt
+	}
+	op, err := s.op.Shift(shift)
+	if err != nil {
+		return nil, fmt.Errorf("rcnet: backward Euler operator: %w", err)
+	}
+	return op, nil
 }
 
 // StepBE advances temp (in place) by one backward-Euler step of size dt
 // under constant power. Backward Euler is unconditionally stable, which
 // makes it the right integrator for the stiff networks that mix the tiny
 // oil-boundary-layer capacitance with the large heatsink capacitance. The
-// factorization of (C/dt + A) is cached across calls with the same dt.
+// (C/dt + A) operator is cached across calls with the same dt; the solve is
+// warm-started from the current temperatures on the iterative backend. On
+// error, temp is left unchanged.
 func (s *Solver) StepBE(temp, power []float64, dt float64) error {
-	if dt <= 0 {
-		return fmt.Errorf("rcnet: non-positive step %g", dt)
-	}
 	if len(temp) != s.net.N() {
 		return fmt.Errorf("rcnet: temperature vector length %d, want %d", len(temp), s.net.N())
 	}
-	if s.beLU == nil || s.beStep != dt {
-		m := s.a.Clone()
-		for i := 0; i < m.Rows; i++ {
-			m.Add(i, i, s.net.cap[i]/dt)
-		}
-		lu, err := linalg.FactorLU(m)
-		if err != nil {
-			return fmt.Errorf("rcnet: backward Euler factorization: %w", err)
-		}
-		s.beLU = lu
-		s.beStep = dt
+	if s.serial == nil {
+		s.serial = s.newSession()
 	}
-	rhs := s.rhs(power)
-	for i := range rhs {
-		rhs[i] += s.net.cap[i] / dt * temp[i]
-	}
-	copy(temp, s.beLU.Solve(rhs))
-	return nil
+	return s.serial.stepBE(temp, power, dt)
 }
 
 // TransientBE advances temp by duration using fixed backward-Euler steps of
@@ -313,12 +450,69 @@ type Sample struct {
 	Temp []float64 // copy of all node temperatures, K
 }
 
+// session is an independent backward-Euler stepping context: its own solve
+// workspace, scratch buffers and BE-operator cache. Concurrent trace
+// replays on one Solver each get a session, so they share only the immutable
+// conductance operator.
+type session struct {
+	s        *Solver
+	ws       linalg.Workspace
+	rhs, sol []float64
+	step     float64
+	op       linalg.Operator
+}
+
+func (s *Solver) newSession() *session {
+	return &session{s: s, rhs: make([]float64, s.net.N()), sol: make([]float64, s.net.N())}
+}
+
+// stepBE performs one backward-Euler step. The solve lands in session
+// scratch and is copied into temp only on success, so a stalled iterative
+// solve cannot corrupt the caller's state.
+func (ss *session) stepBE(temp, power []float64, dt float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("rcnet: non-positive step %g", dt)
+	}
+	net := ss.s.net
+	if len(power) != net.N() {
+		panic(fmt.Sprintf("rcnet: power vector length %d, want %d", len(power), net.N()))
+	}
+	if ss.op == nil || ss.step != dt {
+		op, err := ss.s.beOperator(dt)
+		if err != nil {
+			return err
+		}
+		ss.op, ss.step = op, dt
+	}
+	for i := range ss.rhs {
+		ss.rhs[i] = power[i] + net.ambG[i]*net.ambient + net.cap[i]/dt*temp[i]
+	}
+	if _, err := ss.op.Solve(ss.rhs, temp, ss.sol, &ss.ws); err != nil {
+		return fmt.Errorf("rcnet: backward Euler solve: %w", err)
+	}
+	copy(temp, ss.sol)
+	return nil
+}
+
 // TransientTrace integrates for duration under a time-varying power schedule
 // and records the state every sampleEvery seconds (plus the final state).
 // The schedule callback fills power for the interval beginning at time t; it
 // is invoked once per sample interval, so sampleEvery is also the power
 // update granularity (exactly how trace-driven HotSpot simulation works).
+//
+// All mutable solver state lives in a per-call session, so TransientTrace
+// may be called concurrently from multiple goroutines on one Solver (each
+// call with its own temp vector and schedule).
 func (s *Solver) TransientTrace(temp []float64, schedule func(t float64, power []float64), duration, sampleEvery float64) ([]Sample, error) {
+	return s.transientTrace(s.newSession(), temp, schedule, duration, sampleEvery)
+}
+
+// transientTrace is TransientTrace against a caller-owned session, so batch
+// workers can reuse one session (and its cached BE operator) across jobs.
+func (s *Solver) transientTrace(ses *session, temp []float64, schedule func(t float64, power []float64), duration, sampleEvery float64) ([]Sample, error) {
+	if len(temp) != s.net.N() {
+		return nil, fmt.Errorf("rcnet: temperature vector length %d, want %d", len(temp), s.net.N())
+	}
 	if sampleEvery <= 0 || duration <= 0 {
 		return nil, fmt.Errorf("rcnet: invalid trace parameters duration=%g sample=%g", duration, sampleEvery)
 	}
@@ -337,13 +531,52 @@ func (s *Solver) TransientTrace(temp []float64, schedule func(t float64, power [
 			step = duration - t
 		}
 		schedule(t, power)
-		if err := s.StepBE(temp, power, step); err != nil {
+		if err := ses.stepBE(temp, power, step); err != nil {
 			return nil, err
 		}
 		t += step
 		record(t)
 	}
 	return out, nil
+}
+
+// TraceJob describes one independent trace replay for TransientBatch: an
+// initial temperature state (advanced in place), a power schedule, and the
+// replay window. Schedule follows the TransientTrace contract.
+type TraceJob struct {
+	Temp        []float64
+	Schedule    func(t float64, power []float64)
+	Duration    float64
+	SampleEvery float64
+}
+
+// TransientBatch replays N independent power schedules against one compiled
+// network, fanning the jobs across a goroutine worker pool. Each worker owns
+// one stepping session (solve workspace, rhs scratch, BE-operator cache)
+// reused across its jobs — so a batch of same-dt jobs builds the shifted
+// operator once per worker, not once per job — and the only shared state is
+// the immutable conductance operator. workers ≤ 0 uses GOMAXPROCS. Results
+// are indexed like jobs. The first job error (by job order) is returned;
+// remaining jobs still run to completion.
+func (s *Solver) TransientBatch(jobs []TraceJob, workers int) ([][]Sample, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	results := make([][]Sample, len(jobs))
+	errs := make([]error, len(jobs))
+	pool.Run(len(jobs), workers, func() func(int) {
+		ses := s.newSession()
+		return func(j int) {
+			job := jobs[j]
+			results[j], errs[j] = s.transientTrace(ses, job.Temp, job.Schedule, job.Duration, job.SampleEvery)
+		}
+	})
+	for j, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("rcnet: batch job %d: %w", j, err)
+		}
+	}
+	return results, nil
 }
 
 // DominantTimeConstant estimates the slowest thermal time constant of the
@@ -353,20 +586,23 @@ func (s *Solver) DominantTimeConstant() float64 {
 	sz := s.net.N()
 	v := make([]float64, sz)
 	linalg.Fill(v, 1)
+	solve := func(b, warm []float64) []float64 {
+		x, err := s.op.Solve(b, warm, nil, &s.ws)
+		if err != nil {
+			return s.rescueSolve(b)
+		}
+		return x
+	}
 	var lambda float64
 	for it := 0; it < 200; it++ {
-		// w = A⁻¹ C v
-		cv := make([]float64, sz)
-		for i := range cv {
-			cv[i] = s.net.cap[i] * v[i]
-		}
-		w := s.lu.Solve(cv)
+		// w = A⁻¹ C v, warm-started from the previous iterate.
+		w := solve(scaleCopy(s.net.cap, v), v)
 		norm := linalg.Norm2(w)
 		if norm == 0 {
 			return 0
 		}
 		linalg.Scale(1/norm, w)
-		newLambda := linalg.Dot(w, s.lu.Solve(scaleCopy(s.net.cap, w)))
+		newLambda := linalg.Dot(w, solve(scaleCopy(s.net.cap, w), w))
 		if math.Abs(newLambda-lambda) < 1e-12*math.Abs(newLambda) {
 			return newLambda
 		}

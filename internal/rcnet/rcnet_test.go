@@ -333,3 +333,24 @@ func TestRK4AgreesWithBE(t *testing.T) {
 	_ = a
 	_ = b
 }
+
+// TestTransientMaxStepCapsSteps: TransientOptions.MaxStep is a step-size cap
+// (the regression: it used to seed the initial step instead, letting the
+// controller grow past it).
+func TestTransientMaxStepCapsSteps(t *testing.T) {
+	n, i := singleRC(300, 1.0, 1.0)
+	s, _ := n.Compile()
+	p := make([]float64, n.N())
+	p[i] = 2
+	temp := s.AmbientVector()
+	st, err := s.Transient(temp, p, 2.0, TransientOptions{AbsTol: 10, MaxStep: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LastStep > 0.1+1e-12 {
+		t.Fatalf("last step %g exceeds MaxStep", st.LastStep)
+	}
+	if st.Accepted < 20 {
+		t.Fatalf("accepted %d steps, want ≥ 20 for duration 2 s at MaxStep 0.1", st.Accepted)
+	}
+}

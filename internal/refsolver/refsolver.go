@@ -37,19 +37,24 @@ type Config struct {
 	LocalH bool
 }
 
-// Solver is an assembled finite-volume model.
+// Solver is an assembled finite-volume model. The conduction system lives
+// behind the shared sparse solver backend (linalg.SparseOperator): steady
+// states are one preconditioned CG solve, transients one warm-started solve
+// per backward-Euler step against a cached shifted operator.
 type Solver struct {
 	cfg        Config
 	nx, ny, nz int
 	dx, dy, dz float64
 	n          int // total unknowns: nx·ny·nz silicon + nx·ny oil
-	g          *linalg.CSR
+	op         *linalg.SparseOperator
 	capVec     []float64
 	power      []float64 // per-node injected power, W
+	ambIn      []float64 // Dirichlet ambient inflow per node (g_amb·T_amb), W
+	ws         linalg.Workspace
 
-	// beCache holds the (C/dt + G) operator for the current step size.
+	// beOp caches the (C/dt + G) operator for the current step size.
 	beStep float64
-	beOp   *linalg.CSR
+	beOp   linalg.Operator
 }
 
 // New assembles the solver.
@@ -82,6 +87,7 @@ func New(cfg Config) (*Solver, error) {
 	s.n = nSi + s.nx*s.ny
 	s.capVec = make([]float64, s.n)
 	s.power = make([]float64, s.n)
+	s.ambIn = make([]float64, s.n)
 
 	k := materials.Silicon.Conductivity
 	cellCap := materials.Silicon.VolHeatCap * s.dx * s.dy * s.dz
@@ -141,9 +147,10 @@ func New(cfg Config) (*Solver, error) {
 			// oil node to ambient: appears on the diagonal only (Dirichlet
 			// boundary folded into the operator).
 			entries = append(entries, linalg.Coord{I: oil, J: oil, V: gConvHalf})
+			s.ambIn[oil] = gConvHalf * cfg.AmbientK
 		}
 	}
-	s.g = linalg.NewCSR(s.n, entries)
+	s.op = linalg.NewSparseOperator(linalg.NewCSR(s.n, entries), linalg.CGOptions{Tol: 1e-10, MaxIter: 50 * s.n})
 	return s, nil
 }
 
@@ -216,26 +223,11 @@ func (s *Solver) AddFloorplanPower(fp *floorplan.Floorplan, blockPower map[strin
 }
 
 // rhs builds P + G_dirichlet·T_amb (the ambient enters through the oil
-// nodes' diagonal terms).
+// nodes' diagonal terms, recorded in ambIn at assembly).
 func (s *Solver) rhs() []float64 {
 	out := make([]float64, s.n)
-	copy(out, s.power)
-	// Ambient inflow for every oil node: g_amb · T_amb, where g_amb is the
-	// Dirichlet part of the diagonal. Recover it: for the oil node the
-	// diagonal is gSeries + gConvHalf and the off-diagonal sum is -gSeries,
-	// so g_amb = diag + Σ_offdiag.
-	diag := s.g.Diagonal()
-	for iy := 0; iy < s.ny; iy++ {
-		for ix := 0; ix < s.nx; ix++ {
-			oil := s.oilIdx(ix, iy)
-			var offSum float64
-			for k := s.g.RowPtr[oil]; k < s.g.RowPtr[oil+1]; k++ {
-				if s.g.ColIdx[k] != oil {
-					offSum += s.g.Values[k]
-				}
-			}
-			out[oil] += (diag[oil] + offSum) * s.cfg.AmbientK
-		}
+	for i := range out {
+		out[i] = s.power[i] + s.ambIn[i]
 	}
 	return out
 }
@@ -245,9 +237,9 @@ func (s *Solver) rhs() []float64 {
 func (s *Solver) Steady() ([]float64, error) {
 	x0 := make([]float64, s.n)
 	linalg.Fill(x0, s.cfg.AmbientK)
-	x, res := linalg.SolveCG(s.g, s.rhs(), x0, linalg.CGOptions{Tol: 1e-10, MaxIter: 50 * s.n})
-	if !res.Converged {
-		return nil, fmt.Errorf("refsolver: CG stalled at residual %g after %d iterations", res.Residual, res.Iterations)
+	x, err := s.op.Solve(s.rhs(), x0, nil, &s.ws)
+	if err != nil {
+		return nil, fmt.Errorf("refsolver: steady solve: %w", err)
 	}
 	return x, nil
 }
@@ -270,25 +262,28 @@ func (s *Solver) StepBE(temp []float64, dt float64) error {
 		return fmt.Errorf("refsolver: non-positive dt")
 	}
 	if s.beOp == nil || s.beStep != dt {
-		entries := make([]linalg.Coord, 0, s.g.NNZ()+s.n)
-		for i := 0; i < s.n; i++ {
-			for k := s.g.RowPtr[i]; k < s.g.RowPtr[i+1]; k++ {
-				entries = append(entries, linalg.Coord{I: i, J: s.g.ColIdx[k], V: s.g.Values[k]})
-			}
-			entries = append(entries, linalg.Coord{I: i, J: i, V: s.capVec[i] / dt})
+		shift := make([]float64, s.n)
+		for i, c := range s.capVec {
+			shift[i] = c / dt
 		}
-		s.beOp = linalg.NewCSR(s.n, entries)
+		// Transient steps are warm-started and error-damped, so they get a
+		// looser tolerance and tighter iteration budget than the steady
+		// solver's 1e-10/50n.
+		s.beOp = linalg.NewSparseOperator(s.op.Matrix().Shifted(shift),
+			linalg.CGOptions{Tol: 1e-9, MaxIter: 20 * s.n})
 		s.beStep = dt
 	}
 	rhs := s.rhs()
 	for i := range rhs {
 		rhs[i] += s.capVec[i] / dt * temp[i]
 	}
-	x, res := linalg.SolveCG(s.beOp, rhs, temp, linalg.CGOptions{Tol: 1e-9, MaxIter: 20 * s.n})
-	if !res.Converged {
-		return fmt.Errorf("refsolver: transient CG stalled at %g", res.Residual)
+	// Solve into scratch and commit only on success, so a stalled CG cannot
+	// corrupt the caller's field.
+	sol := make([]float64, s.n)
+	if _, err := s.beOp.Solve(rhs, temp, sol, &s.ws); err != nil {
+		return fmt.Errorf("refsolver: transient solve: %w", err)
 	}
-	copy(temp, x)
+	copy(temp, sol)
 	return nil
 }
 

@@ -17,11 +17,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/floorplan"
-	"repro/internal/hotspot"
 	"repro/internal/trace"
 )
 
@@ -45,6 +45,98 @@ func main() {
 		fmt.Fprintln(os.Stderr, "thermsim:", err)
 		os.Exit(1)
 	}
+}
+
+// powerSource abstracts where the power rows come from: a fully-resident
+// trace (synthetic workloads) or a file streamed twice through the chunked
+// decoder — one pass for the average, one for the replay — so memory stays
+// O(one row) no matter how long the trace is.
+type powerSource struct {
+	names    []string
+	interval float64
+	rows     int
+	totalAvg float64
+	avg      map[string]float64
+	// openRows returns a fresh row stream for replay plus its closer.
+	openRows func() (trace.RowReader, func(), error)
+}
+
+// memorySource wraps an in-memory trace.
+func memorySource(tr *trace.PowerTrace) *powerSource {
+	avg := tr.Average()
+	pm := make(map[string]float64, len(tr.Names))
+	for i, n := range tr.Names {
+		pm[n] = avg[i]
+	}
+	return &powerSource{
+		names:    tr.Names,
+		interval: tr.Interval,
+		rows:     len(tr.Rows),
+		totalAvg: tr.TotalAverage(),
+		avg:      pm,
+		openRows: func() (trace.RowReader, func(), error) {
+			return tr.Reader(), func() {}, nil
+		},
+	}
+}
+
+// fileSource streams a trace file: the constructor makes one decoding pass
+// to accumulate the per-block average without materializing the rows.
+func fileSource(path string, defaultInterval float64) (*powerSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec, err := trace.NewDecoder(f, trace.DecoderOptions{DefaultInterval: defaultInterval})
+	if err != nil {
+		return nil, err
+	}
+	names := dec.Names()
+	sums := make([]float64, len(names))
+	row := make([]float64, len(names))
+	rows := 0
+	for {
+		err := dec.Next(row)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range row {
+			sums[i] += v
+		}
+		rows++
+	}
+	if rows == 0 {
+		return nil, fmt.Errorf("trace %s has no power rows", path)
+	}
+	avg := make(map[string]float64, len(names))
+	var total float64
+	for i, n := range names {
+		avg[n] = sums[i] / float64(rows)
+		total += avg[n]
+	}
+	return &powerSource{
+		names:    names,
+		interval: dec.Interval(),
+		rows:     rows,
+		totalAvg: total,
+		avg:      avg,
+		openRows: func() (trace.RowReader, func(), error) {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			d, err := trace.NewDecoder(f, trace.DecoderOptions{DefaultInterval: defaultInterval})
+			if err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			return d, func() { f.Close() }, nil
+		},
+	}, nil
 }
 
 func run(flpName, flpFile, workload, ptrace, pkg, direction string, rconv float64, secondary bool, ambientC float64, transient bool, cycles uint64, showMap bool) error {
@@ -71,30 +163,26 @@ func run(flpName, flpFile, workload, ptrace, pkg, direction string, rconv float6
 	}
 
 	// Power.
-	var tr *trace.PowerTrace
+	var src *powerSource
 	switch {
 	case workload != "":
-		var err error
-		tr, err = core.RunWorkload(core.WorkloadSpec{Name: workload, Cycles: cycles})
+		tr, err := core.RunWorkload(core.WorkloadSpec{Name: workload, Cycles: cycles})
 		if err != nil {
 			return err
 		}
+		src = memorySource(tr)
 	case ptrace != "":
-		f, err := os.Open(ptrace)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		tr, err = trace.Read(f, 3.33e-6)
+		var err error
+		src, err = fileSource(ptrace, 3.33e-6)
 		if err != nil {
 			return err
 		}
 	case flpName == "athlon" && flpFile == "":
-		var err error
-		tr, err = trace.Step(fp.Names(), floorplan.AthlonPowers(), 1, 1)
+		tr, err := trace.Step(fp.Names(), floorplan.AthlonPowers(), 1, 1)
 		if err != nil {
 			return err
 		}
+		src = memorySource(tr)
 	default:
 		return fmt.Errorf("need -workload or -ptrace for power input")
 	}
@@ -108,14 +196,9 @@ func run(flpName, flpFile, workload, ptrace, pkg, direction string, rconv float6
 	}
 	fmt.Printf("floorplan: %d blocks, %.1f×%.1f mm die\n", fp.N(), fp.Width()*1e3, fp.Height()*1e3)
 	fmt.Printf("package: %s, R_conv = %.3f K/W, ambient %.1f °C\n", pkg, model.RconvEffective(), ambientC)
-	fmt.Printf("power: %.1f W average over %d samples\n", tr.TotalAverage(), len(tr.Rows))
+	fmt.Printf("power: %.1f W average over %d samples\n", src.totalAvg, src.rows)
 
-	avg := tr.Average()
-	pm := map[string]float64{}
-	for i, n := range tr.Names {
-		pm[n] = avg[i]
-	}
-	vec, err := model.PowerVector(pm)
+	vec, err := model.PowerVector(src.avg)
 	if err != nil {
 		return err
 	}
@@ -123,26 +206,18 @@ func run(flpName, flpFile, workload, ptrace, pkg, direction string, rconv float6
 
 	if transient {
 		state := append([]float64(nil), res.Temps...)
-		// Route the replay through the batched transient API (a batch of
-		// one), the same worker-pool path scenario sweeps use.
-		batch, err := model.RunTraceBatch([]hotspot.TraceJob{{
-			Temps: state,
-			Schedule: func(t float64, p []float64) {
-				row := tr.At(t)
-				for bi, name := range fp.Names() {
-					c := tr.Column(name)
-					if c >= 0 {
-						p[bi] = row[c]
-					}
-				}
-			},
-			Duration:    tr.Duration(),
-			SampleEvery: tr.Interval,
-		}}, 0)
+		// Replay through the streaming row path: file traces never fully
+		// materialize, and an in-memory trace takes the identical code
+		// path (bit-identical results either way).
+		rows, closeRows, err := src.openRows()
 		if err != nil {
 			return err
 		}
-		pts := batch[0]
+		pts, err := model.ReplayRows(state, rows)
+		closeRows()
+		if err != nil {
+			return err
+		}
 		res = model.NewResult(state)
 		// Report the peak over the run.
 		peak := make([]float64, fp.N())
@@ -153,7 +228,8 @@ func run(flpName, flpFile, workload, ptrace, pkg, direction string, rconv float6
 				}
 			}
 		}
-		fmt.Printf("\ntransient run: %d points over %.4g s\n", len(pts), tr.Duration())
+		duration := float64(src.rows) * src.interval
+		fmt.Printf("\ntransient run: %d points over %.4g s\n", len(pts), duration)
 		fmt.Println("block                 final °C   peak °C")
 		for i, n := range fp.Names() {
 			fmt.Printf("%-20s  %8.1f  %8.1f\n", n, res.BlocksC()[i], peak[i])

@@ -1,0 +1,64 @@
+// Command thermsvc serves the thermal simulation stack over HTTP/JSON: a
+// long-lived process that amortizes model compilation across requests with
+// a single-flight LRU cache and ingests power traces as streams.
+//
+// Usage:
+//
+//	thermsvc -addr :8080 -cache 32 -concurrency 4 -queue 64
+//
+// Example requests (see DESIGN.md §7 for the full API):
+//
+//	# steady state of the EV6 under oil
+//	curl -s localhost:8080/v1/steady -d '{
+//	  "model": {"floorplan":"ev6","package":"oil-silicon","rconv":1.0},
+//	  "power": {"IntReg": 2.0, "Dcache": 1.2}}'
+//
+//	# stream a ptrace file straight into a transient
+//	curl -s -H 'Content-Type: text/plain' --data-binary @chip.ptrace \
+//	  'localhost:8080/v1/transient?floorplan=ev6&package=air-sink&max_points=50'
+//
+//	# cache/queue/latency counters
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		cacheCap    = flag.Int("cache", 32, "compiled-model cache capacity")
+		concurrency = flag.Int("concurrency", 4, "max concurrent solves")
+		queue       = flag.Int("queue", 64, "max queued requests before shedding with 429")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		CacheCap:       *cacheCap,
+		MaxConcurrent:  *concurrency,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("thermsvc: listening on %s (cache %d models, %d concurrent solves, queue %d)",
+		*addr, *cacheCap, *concurrency, *queue)
+	if err := srv.Serve(ctx, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "thermsvc:", err)
+		os.Exit(1)
+	}
+	log.Print("thermsvc: shut down")
+}

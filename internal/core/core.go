@@ -130,8 +130,11 @@ func ParseDirection(s string) (hotspot.FlowDirection, error) {
 	}
 }
 
-// BuildModel constructs a thermal model for the floorplan and package spec.
-func BuildModel(fp *floorplan.Floorplan, spec PackageSpec) (*hotspot.Model, error) {
+// BuildConfig resolves a floorplan and package spec into a full model
+// configuration without compiling it. Callers that key caches on the
+// configuration's Fingerprint use this to hash before paying for
+// hotspot.New.
+func BuildConfig(fp *floorplan.Floorplan, spec PackageSpec) (hotspot.Config, error) {
 	cfg := hotspot.Config{
 		Floorplan: fp,
 		AmbientK:  spec.AmbientK,
@@ -153,14 +156,23 @@ func BuildModel(fp *floorplan.Floorplan, spec PackageSpec) (*hotspot.Model, erro
 		cfg.Package = hotspot.OilSilicon
 		dir, err := ParseDirection(spec.Direction)
 		if err != nil {
-			return nil, err
+			return hotspot.Config{}, err
 		}
 		cfg.Oil.Direction = dir
 		if spec.Rconv > 0 {
 			cfg.Oil.TargetRconv = spec.Rconv
 		}
 	default:
-		return nil, fmt.Errorf("core: unknown package kind %q (have air-sink, oil-silicon, water-sink)", spec.Kind)
+		return hotspot.Config{}, fmt.Errorf("core: unknown package kind %q (have air-sink, oil-silicon, water-sink)", spec.Kind)
+	}
+	return cfg, nil
+}
+
+// BuildModel constructs a thermal model for the floorplan and package spec.
+func BuildModel(fp *floorplan.Floorplan, spec PackageSpec) (*hotspot.Model, error) {
+	cfg, err := BuildConfig(fp, spec)
+	if err != nil {
+		return nil, err
 	}
 	return hotspot.New(cfg)
 }

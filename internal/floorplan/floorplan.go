@@ -49,15 +49,23 @@ type Floorplan struct {
 	byName map[string]int
 }
 
-// New builds a floorplan from blocks and validates name uniqueness.
+// New builds a floorplan from blocks and validates name uniqueness and
+// geometry: sizes must be positive and all coordinates finite (a zero-area
+// block has no thermal mass and would divide the RC assembly by zero; NaN
+// or Inf geometry would poison every downstream bound and resistance).
 func New(blocks []Block) (*Floorplan, error) {
 	fp := &Floorplan{Blocks: blocks, byName: make(map[string]int, len(blocks))}
 	for i, b := range blocks {
 		if b.Name == "" {
 			return nil, fmt.Errorf("floorplan: block %d has an empty name", i)
 		}
-		if b.Width <= 0 || b.Height <= 0 {
+		if !(b.Width > 0) || !(b.Height > 0) { // also rejects NaN
 			return nil, fmt.Errorf("floorplan: block %q has non-positive size %g×%g", b.Name, b.Width, b.Height)
+		}
+		for _, v := range []float64{b.Width, b.Height, b.X, b.Y} {
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				return nil, fmt.Errorf("floorplan: block %q has non-finite geometry", b.Name)
+			}
 		}
 		if _, dup := fp.byName[b.Name]; dup {
 			return nil, fmt.Errorf("floorplan: duplicate block name %q", b.Name)

@@ -1,0 +1,58 @@
+package floorplan
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text through the .flp parser. Invariants: never
+// panic; any floorplan the parser accepts has only finite, positive block
+// geometry (zero-area blocks and NaN/Inf coordinates must be rejected), a
+// finite bounding box, and survives the geometric helpers.
+func FuzzParse(f *testing.F) {
+	f.Add("a\t1e-3\t2e-3\t0\t0\nb\t1e-3\t2e-3\t1e-3\t0\n")
+	f.Add("# comment\nblk 0.016 0.016 0 0 extra fields ignored\n")
+	f.Add("zero\t0\t1e-3\t0\t0\n")
+	f.Add("neg\t-1e-3\t1e-3\t0\t0\n")
+	f.Add("nan\tNaN\t1e-3\t0\t0\n")
+	f.Add("infx\t1e-3\t1e-3\tInf\t0\n")
+	f.Add("dup\t1e-3\t1e-3\t0\t0\ndup\t1e-3\t1e-3\t1e-3\t0\n")
+	f.Add("short 1 2\n")
+	f.Add("huge\t1e300\t1e300\t-1e300\t1e300\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		fp, err := Parse(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if fp.N() == 0 {
+			t.Fatal("accepted a floorplan with no blocks")
+		}
+		for _, b := range fp.Blocks {
+			if !(b.Width > 0) || !(b.Height > 0) {
+				t.Fatalf("block %q: non-positive size %g×%g accepted", b.Name, b.Width, b.Height)
+			}
+			for _, v := range []float64{b.Width, b.Height, b.X, b.Y} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("block %q: non-finite geometry accepted", b.Name)
+				}
+			}
+			if b.Name == "" {
+				t.Fatal("empty block name accepted")
+			}
+		}
+		minX, minY, maxX, maxY := fp.Bounds()
+		for _, v := range []float64{minX, minY, maxX, maxY} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("non-finite bounds")
+			}
+		}
+		// The geometric helpers must hold up on anything Parse accepts.
+		// Adjacencies is O(n²); bound the work per input.
+		if fp.N() <= 128 {
+			_ = fp.Adjacencies()
+			_ = fp.ValidateNoOverlap()
+			_ = fp.Rasterize(8, 8)
+		}
+	})
+}

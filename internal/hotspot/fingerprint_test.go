@@ -1,0 +1,53 @@
+package hotspot
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+func TestFingerprintStableAndDiscriminating(t *testing.T) {
+	base := Config{
+		Floorplan: floorplan.EV6(),
+		Package:   OilSilicon,
+		AmbientK:  318.15,
+		Oil:       OilConfig{Direction: LeftToRight, TargetRconv: 1.0},
+	}
+	fpA := base.Fingerprint()
+	if fpA != base.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	// Defaulting must not change the identity: an explicitly-defaulted
+	// config hashes the same as its zero-field original.
+	if got := base.Defaulted().Fingerprint(); got != fpA {
+		t.Fatalf("defaulted config fingerprint differs: %s vs %s", got, fpA)
+	}
+
+	variants := []Config{
+		{Floorplan: floorplan.Athlon(), Package: OilSilicon, AmbientK: 318.15, Oil: OilConfig{Direction: LeftToRight, TargetRconv: 1.0}},
+		{Floorplan: floorplan.EV6(), Package: AirSink, AmbientK: 318.15},
+		{Floorplan: floorplan.EV6(), Package: OilSilicon, AmbientK: 318.15, Oil: OilConfig{Direction: TopToBottom, TargetRconv: 1.0}},
+		{Floorplan: floorplan.EV6(), Package: OilSilicon, AmbientK: 318.15, Oil: OilConfig{Direction: LeftToRight, TargetRconv: 0.3}},
+		{Floorplan: floorplan.EV6(), Package: OilSilicon, AmbientK: 300, Oil: OilConfig{Direction: LeftToRight, TargetRconv: 1.0}},
+		{Floorplan: floorplan.EV6(), Package: OilSilicon, AmbientK: 318.15, Oil: OilConfig{Direction: LeftToRight, TargetRconv: 1.0}, Secondary: SecondaryPathConfig{Enabled: true}},
+	}
+	seen := map[string]int{fpA: -1}
+	for i, v := range variants {
+		fp := v.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("variant %d collides with %d", i, prev)
+		}
+		seen[fp] = i
+	}
+}
+
+func TestModelFingerprintMatchesConfig(t *testing.T) {
+	cfg := Config{Floorplan: floorplan.EV6(), Package: AirSink, AmbientK: 318.15}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fingerprint() != cfg.Fingerprint() {
+		t.Fatal("model fingerprint differs from its config fingerprint")
+	}
+}

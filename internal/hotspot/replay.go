@@ -1,0 +1,199 @@
+package hotspot
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/pool"
+	"repro/internal/rcnet"
+	"repro/internal/trace"
+)
+
+// Session is a per-goroutine simulation context over one compiled Model:
+// its own solve workspace, backward-Euler operator cache, steady-state
+// warm-start vector and block-power scratch. Any number of Sessions may run
+// concurrently against the same Model; one Session must not be shared
+// between goroutines. Long-lived services pool Sessions per cached model so
+// repeated steady solves warm-start from the previous solution and repeated
+// same-interval replays reuse one shifted operator.
+type Session struct {
+	m         *Model
+	rs        *rcnet.Session
+	nodePower []float64
+}
+
+// NewSession creates an independent simulation context. Safe to call
+// concurrently.
+func (m *Model) NewSession() *Session {
+	return &Session{m: m, rs: m.solver.NewSession(), nodePower: make([]float64, m.net.N())}
+}
+
+// Model returns the model this session runs against.
+func (s *Session) Model() *Model { return s.m }
+
+// SteadyState solves the equilibrium temperatures for a node-power vector
+// (from PowerVector/BlockPowerVector), warm-starting from the session's
+// previous steady solution. Results match Model.SteadyState.
+func (s *Session) SteadyState(power []float64) *Result {
+	return s.m.NewResult(s.rs.SteadyState(power))
+}
+
+// TraceColumns maps trace column names onto floorplan block indices: the
+// returned slice has one entry per trace column, -1 where the column names
+// no block (such columns are ignored during replay).
+func (m *Model) TraceColumns(names []string) []int {
+	cols := make([]int, len(names))
+	fp := m.cfg.Floorplan
+	for i, n := range names {
+		cols[i] = fp.Index(n)
+	}
+	return cols
+}
+
+// CheckTraceNames verifies that every trace column names a floorplan block.
+// Replay itself tolerates unknown columns (they are ignored); strict callers
+// — the simulation service — reject them up front with this check.
+func (m *Model) CheckTraceNames(names []string) error {
+	fp := m.cfg.Floorplan
+	for _, n := range names {
+		if fp.Index(n) < 0 {
+			return fmt.Errorf("hotspot: trace column %q names no floorplan block", n)
+		}
+	}
+	return nil
+}
+
+// ReplayRows drives the model with rows streamed from a RowReader: each row
+// is one backward-Euler step of the reader's interval, and the temperature
+// state is recorded after every step (plus the initial state). Replay
+// starts as soon as the first row is available and holds only one row in
+// memory, so a transient can proceed while its trace is still arriving over
+// a network stream. Replaying an in-memory trace (PowerTrace.Reader) and
+// streaming the same rows (trace.NewDecoder) produce bit-identical results.
+//
+// temps (length = node count) is advanced in place. An empty trace (no
+// rows) is an error.
+func (s *Session) ReplayRows(temps []float64, rows trace.RowReader) ([]TracePoint, error) {
+	m := s.m
+	if len(temps) != m.net.N() {
+		return nil, fmt.Errorf("hotspot: temperature vector length %d, want %d", len(temps), m.net.N())
+	}
+	dt := rows.Interval()
+	if !(dt > 0) {
+		return nil, fmt.Errorf("hotspot: non-positive trace interval %g", dt)
+	}
+	cols := m.TraceColumns(rows.Names())
+	row := make([]float64, len(cols))
+	var out []TracePoint
+	record := func(t float64) {
+		out = append(out, TracePoint{Time: t, BlockC: m.NewResult(temps).BlocksC()})
+	}
+	record(0)
+	t := 0.0
+	n := 0
+	for {
+		err := rows.Next(row)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("hotspot: replay row %d: %w", n+1, err)
+		}
+		for i := range s.nodePower {
+			s.nodePower[i] = 0
+		}
+		for c, bi := range cols {
+			if bi >= 0 {
+				s.nodePower[m.blockNode[bi]] = row[c]
+			}
+		}
+		if err := s.rs.StepBE(temps, s.nodePower, dt); err != nil {
+			return nil, fmt.Errorf("hotspot: replay row %d: %w", n+1, err)
+		}
+		t += dt
+		n++
+		record(t)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("hotspot: empty trace: no power rows")
+	}
+	return out, nil
+}
+
+// ReplayRows is Session.ReplayRows on a throwaway session. Safe to call
+// concurrently (each call builds its own session).
+func (m *Model) ReplayRows(temps []float64, rows trace.RowReader) ([]TracePoint, error) {
+	return m.NewSession().ReplayRows(temps, rows)
+}
+
+// ReplayJob describes one independent streamed replay for RunReplayBatch.
+type ReplayJob struct {
+	Model *Model
+	// Temps is the initial state (advanced in place); nil starts from
+	// ambient.
+	Temps []float64
+	Rows  trace.RowReader
+}
+
+// ReplayBatchResults replays row-streamed jobs across a worker pool
+// (workers ≤ 0 = GOMAXPROCS) and reports per-job outcomes: results and
+// errors are both indexed like jobs, so callers serving independent
+// scenarios can attribute each failure to its own job. Jobs may share a
+// Model — replays share only the compiled conductance operator, and each
+// worker keeps one Session per distinct model, so a batch of same-interval
+// jobs derives the backward-Euler operator once per worker rather than once
+// per job.
+func ReplayBatchResults(jobs []ReplayJob, workers int) ([][]TracePoint, []error) {
+	results := make([][]TracePoint, len(jobs))
+	errs := make([]error, len(jobs))
+	if len(jobs) == 0 {
+		return results, errs
+	}
+	for j, job := range jobs {
+		if job.Model == nil {
+			errs[j] = fmt.Errorf("nil model")
+		} else if job.Rows == nil {
+			errs[j] = fmt.Errorf("nil row source")
+		}
+	}
+	pool.Run(len(jobs), workers, func() func(int) {
+		sessions := make(map[*Model]*Session)
+		return func(j int) {
+			if errs[j] != nil {
+				return
+			}
+			defer func() {
+				if r := recover(); r != nil {
+					errs[j] = fmt.Errorf("job panicked: %v", r)
+				}
+			}()
+			job := jobs[j]
+			se := sessions[job.Model]
+			if se == nil {
+				se = job.Model.NewSession()
+				sessions[job.Model] = se
+			}
+			temps := job.Temps
+			if temps == nil {
+				temps = job.Model.AmbientState()
+			}
+			results[j], errs[j] = se.ReplayRows(temps, job.Rows)
+		}
+	})
+	return results, errs
+}
+
+// RunReplayBatch is ReplayBatchResults with the sweep-style error contract:
+// the first error (by job order) is returned after all jobs finish.
+func RunReplayBatch(jobs []ReplayJob, workers int) ([][]TracePoint, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	results, errs := ReplayBatchResults(jobs, workers)
+	for j, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("hotspot: replay job %d: %w", j, err)
+		}
+	}
+	return results, nil
+}

@@ -261,14 +261,31 @@ type SweepJob struct {
 // only the model's immutable compiled operator. workers ≤ 0 uses GOMAXPROCS.
 // Results are indexed like jobs; the first error (by job order) is returned
 // after all jobs finish.
+//
+// Jobs are validated before any stepping happens: a job built from an empty
+// or truncated power trace (non-positive duration or sample interval, nil
+// schedule, wrong state length) fails with a descriptive error instead of
+// panicking inside a worker, and a schedule that panics mid-replay fails
+// only its own job.
 func RunSweep(jobs []SweepJob, workers int) ([][]TracePoint, error) {
 	if len(jobs) == 0 {
 		return nil, nil
 	}
 	results := make([][]TracePoint, len(jobs))
 	errs := make([]error, len(jobs))
+	for j, job := range jobs {
+		errs[j] = validateSweepJob(job)
+	}
 	pool.Run(len(jobs), workers, func() func(int) {
 		return func(j int) {
+			if errs[j] != nil {
+				return
+			}
+			defer func() {
+				if r := recover(); r != nil {
+					errs[j] = fmt.Errorf("job panicked: %v", r)
+				}
+			}()
 			job := jobs[j]
 			results[j], errs[j] = job.Model.RunTrace(job.Temps, job.Schedule, job.Duration, job.SampleEvery)
 		}
@@ -279,6 +296,27 @@ func RunSweep(jobs []SweepJob, workers int) ([][]TracePoint, error) {
 		}
 	}
 	return results, nil
+}
+
+// validateSweepJob checks a sweep job's model, replay window, schedule and
+// state vector before any stepping happens.
+func validateSweepJob(job SweepJob) error {
+	if job.Model == nil {
+		return fmt.Errorf("nil model")
+	}
+	if job.Schedule == nil {
+		return fmt.Errorf("nil power schedule")
+	}
+	if !(job.Duration > 0) {
+		return fmt.Errorf("empty trace: non-positive duration %g", job.Duration)
+	}
+	if !(job.SampleEvery > 0) {
+		return fmt.Errorf("non-positive sample interval %g", job.SampleEvery)
+	}
+	if n := job.Model.net.N(); len(job.Temps) != n {
+		return fmt.Errorf("temperature vector length %d, want %d", len(job.Temps), n)
+	}
+	return nil
 }
 
 // DominantTimeConstant returns the network's slowest thermal time constant

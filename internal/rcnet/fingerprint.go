@@ -1,0 +1,68 @@
+package rcnet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+)
+
+// Fingerprint returns a stable hex digest of the network's full physical
+// content: ambient temperature, node names and capacitances, ambient
+// conductances, and every pairwise conductance. Two networks with the same
+// fingerprint assemble to bit-identical conductance systems, so the
+// fingerprint is a safe cache key for compiled solvers. The digest is
+// deterministic across processes and platforms (IEEE-754 bit patterns,
+// sorted pair order).
+func (n *Network) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	wf := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	ws := func(s string) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
+		h.Write(buf[:])
+		h.Write([]byte(s))
+	}
+	ws("rcnet-v1")
+	wf(n.ambient)
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(n.names)))
+	h.Write(buf[:])
+	for i, name := range n.names {
+		ws(name)
+		wf(n.cap[i])
+		wf(n.ambG[i])
+	}
+	keys := make([][2]int, 0, len(n.pairs))
+	for ij := range n.pairs {
+		keys = append(keys, ij)
+	}
+	sort.Slice(keys, func(x, y int) bool {
+		if keys[x][0] != keys[y][0] {
+			return keys[x][0] < keys[y][0]
+		}
+		return keys[x][1] < keys[y][1]
+	})
+	for _, ij := range keys {
+		binary.LittleEndian.PutUint64(buf[:], uint64(ij[0]))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(ij[1]))
+		h.Write(buf[:])
+		wf(n.pairs[ij])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Compiled returns the network's solver, compiling on first use and caching
+// the result (including a compile error) for every later call. It is safe
+// for concurrent use and is the compile-once building block behind
+// model-cache layers. The network must not be mutated after the first call.
+func (n *Network) Compiled() (*Solver, error) {
+	n.compileOnce.Do(func() {
+		n.compiled, n.compileErr = n.Compile()
+	})
+	return n.compiled, n.compileErr
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/linalg"
 	"repro/internal/ode"
@@ -29,6 +30,11 @@ type Network struct {
 	ambG    []float64 // conductance to ambient per node, W/K
 	pairs   map[[2]int]float64
 	ambient float64 // ambient temperature, K
+
+	// compile-once state for Compiled.
+	compileOnce sync.Once
+	compiled    *Solver
+	compileErr  error
 }
 
 // New creates an empty network with the given ambient temperature (Kelvin).
@@ -142,10 +148,13 @@ const DenseCutoff = 64
 // Create with Compile; a Solver must not outlive subsequent mutations of
 // its Network.
 //
-// The steady-state and fixed-dt methods (SteadyState, StepBE, TransientBE)
-// share per-solver caches and must not be called concurrently. Trace replay
-// (TransientTrace) keeps all mutable state in a per-call session and is safe
-// to invoke from multiple goroutines; TransientBatch does exactly that.
+// SteadyState, DominantTimeConstant and HeatFlowToAmbient are safe to call
+// from any number of goroutines (per-call scratch comes from an internal
+// pool). The fixed-dt stepping methods (StepBE, TransientBE) share one
+// per-solver session and must not be called concurrently; concurrent
+// stepping goes through per-goroutine Sessions (NewSession) or the replay
+// entry points (TransientTrace, TransientBatch), which keep all mutable
+// state per call.
 type Solver struct {
 	net     *Network
 	backend linalg.Backend
@@ -153,7 +162,7 @@ type Solver struct {
 	// sum of all conductances incident to i, off-diagonal (i,j) = -g(i,j).
 	op     linalg.Operator
 	invCap []float64
-	ws     linalg.Workspace // scratch for the serial entry points
+	wsPool sync.Pool // *linalg.Workspace scratch for the steady entry points
 
 	// serial is the lazily-created stepping session backing StepBE and
 	// TransientBE (it holds the cached backward-Euler operator per step
@@ -162,8 +171,19 @@ type Solver struct {
 
 	// rescue is the lazily-built dense fallback for steady solves the
 	// iterative backend stalls on (see rescueSolve).
-	rescue linalg.Operator
+	rescueOnce sync.Once
+	rescue     linalg.Operator
 }
+
+// getWS borrows a workspace from the solver's pool; putWS returns it.
+func (s *Solver) getWS() *linalg.Workspace {
+	if v := s.wsPool.Get(); v != nil {
+		return v.(*linalg.Workspace)
+	}
+	return &linalg.Workspace{}
+}
+
+func (s *Solver) putWS(ws *linalg.Workspace) { s.wsPool.Put(ws) }
 
 // Compile assembles the network into a solver, picking the dense backend for
 // networks of at most DenseCutoff nodes and the sparse backend above. It
@@ -284,9 +304,11 @@ func (s *Solver) Backend() string { return s.backend.Name() }
 // per-node power injection (W). power must have length N. If the iterative
 // backend fails to converge (catastrophically ill-conditioned conductances),
 // the solve falls back to an exact dense LU, so a grounded network always
-// gets an answer.
+// gets an answer. Safe for concurrent use.
 func (s *Solver) SteadyState(power []float64) []float64 {
-	return s.solveRefined(s.rhs(power), s.AmbientVector())
+	ws := s.getWS()
+	defer s.putWS(ws)
+	return s.solveRefined(s.rhs(power), s.AmbientVector(), ws)
 }
 
 // solveRefined solves A·x = b to near-direct accuracy: one backend solve
@@ -297,8 +319,8 @@ func (s *Solver) SteadyState(power []float64) []float64 {
 // tolerance), at the cost of at most one extra solve. If the iterative
 // backend stalls outright (catastrophically ill-conditioned conductances),
 // the solve falls back to a lazily-built dense LU rather than failing.
-func (s *Solver) solveRefined(b, warm []float64) []float64 {
-	x, err := s.op.Solve(b, warm, nil, &s.ws)
+func (s *Solver) solveRefined(b, warm []float64, ws *linalg.Workspace) []float64 {
+	x, err := s.op.Solve(b, warm, nil, ws)
 	if err != nil {
 		return s.rescueSolve(b)
 	}
@@ -311,7 +333,7 @@ func (s *Solver) solveRefined(b, warm []float64) []float64 {
 		r[i] = b[i] - r[i]
 	}
 	if linalg.Norm2(r) > 1e-14*linalg.Norm2(b) {
-		if d, err := s.op.Solve(r, nil, nil, &s.ws); err == nil {
+		if d, err := s.op.Solve(r, nil, nil, ws); err == nil {
 			linalg.AXPY(1, d, x)
 		}
 	}
@@ -325,13 +347,13 @@ func (s *Solver) solveRefined(b, warm []float64) []float64 {
 // dense factorization itself fails, which checkGrounded rules out for any
 // network Compile accepted.
 func (s *Solver) rescueSolve(b []float64) []float64 {
-	if s.rescue == nil {
+	s.rescueOnce.Do(func() {
 		op, err := linalg.DenseBackend{}.Assemble(s.net.N(), s.net.assemble())
 		if err != nil {
 			panic(fmt.Sprintf("rcnet: dense rescue assembly failed: %v", err))
 		}
 		s.rescue = op
-	}
+	})
 	x, err := s.rescue.Solve(b, nil, nil, nil)
 	if err != nil {
 		panic(fmt.Sprintf("rcnet: dense rescue solve failed: %v", err))
@@ -562,11 +584,28 @@ func (s *Solver) TransientBatch(jobs []TraceJob, workers int) ([][]Sample, error
 	if len(jobs) == 0 {
 		return nil, nil
 	}
+	// Validate every job before any stepping happens, so a malformed job —
+	// typically a replay built from an empty or truncated power trace —
+	// yields a descriptive error instead of a panic inside a worker.
+	// Well-formed jobs still run to completion.
 	results := make([][]Sample, len(jobs))
 	errs := make([]error, len(jobs))
+	for j, job := range jobs {
+		errs[j] = s.validateTraceJob(job)
+	}
 	pool.Run(len(jobs), workers, func() func(int) {
 		ses := s.newSession()
 		return func(j int) {
+			if errs[j] != nil {
+				return
+			}
+			// A panicking schedule (e.g. one that indexes an empty trace)
+			// must fail its own job, not crash the whole batch.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[j] = fmt.Errorf("job panicked: %v", r)
+				}
+			}()
 			job := jobs[j]
 			results[j], errs[j] = s.transientTrace(ses, job.Temp, job.Schedule, job.Duration, job.SampleEvery)
 		}
@@ -579,15 +618,35 @@ func (s *Solver) TransientBatch(jobs []TraceJob, workers int) ([][]Sample, error
 	return results, nil
 }
 
+// validateTraceJob checks a TraceJob's replay window, schedule and state
+// vector before any stepping happens.
+func (s *Solver) validateTraceJob(job TraceJob) error {
+	if job.Schedule == nil {
+		return fmt.Errorf("nil power schedule")
+	}
+	if !(job.Duration > 0) {
+		return fmt.Errorf("empty trace: non-positive duration %g", job.Duration)
+	}
+	if !(job.SampleEvery > 0) {
+		return fmt.Errorf("non-positive sample interval %g", job.SampleEvery)
+	}
+	if len(job.Temp) != s.net.N() {
+		return fmt.Errorf("temperature vector length %d, want %d", len(job.Temp), s.net.N())
+	}
+	return nil
+}
+
 // DominantTimeConstant estimates the slowest thermal time constant of the
 // network (seconds) by power iteration on A⁻¹·C. This is the long-term
-// warmup constant discussed in §4.1.1 of the paper.
+// warmup constant discussed in §4.1.1 of the paper. Safe for concurrent use.
 func (s *Solver) DominantTimeConstant() float64 {
 	sz := s.net.N()
 	v := make([]float64, sz)
 	linalg.Fill(v, 1)
+	ws := s.getWS()
+	defer s.putWS(ws)
 	solve := func(b, warm []float64) []float64 {
-		x, err := s.op.Solve(b, warm, nil, &s.ws)
+		x, err := s.op.Solve(b, warm, nil, ws)
 		if err != nil {
 			return s.rescueSolve(b)
 		}

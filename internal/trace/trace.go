@@ -10,7 +10,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"strconv"
 	"strings"
 )
 
@@ -28,20 +27,14 @@ type PowerTrace struct {
 
 // New creates an empty trace for the given block names and interval.
 func New(names []string, interval float64) (*PowerTrace, error) {
-	if len(names) == 0 {
-		return nil, fmt.Errorf("trace: no block names")
+	if err := checkNames(names); err != nil {
+		return nil, err
 	}
-	if interval <= 0 {
-		return nil, fmt.Errorf("trace: non-positive interval %g", interval)
+	if !isFinitePositive(interval) {
+		return nil, fmt.Errorf("trace: invalid interval %g (want finite and positive)", interval)
 	}
 	idx := make(map[string]int, len(names))
 	for i, n := range names {
-		if n == "" {
-			return nil, fmt.Errorf("trace: empty block name at column %d", i)
-		}
-		if _, dup := idx[n]; dup {
-			return nil, fmt.Errorf("trace: duplicate block name %q", n)
-		}
 		idx[n] = i
 	}
 	cp := make([]string, len(names))
@@ -57,14 +50,15 @@ func (p *PowerTrace) Column(name string) int {
 	return -1
 }
 
-// Append adds a row (copied). The row length must match the name count.
+// Append adds a row (copied). The row length must match the name count, and
+// every power must be finite and non-negative.
 func (p *PowerTrace) Append(row []float64) error {
 	if len(row) != len(p.Names) {
 		return fmt.Errorf("trace: row has %d values, want %d", len(row), len(p.Names))
 	}
 	for i, v := range row {
-		if v < 0 {
-			return fmt.Errorf("trace: negative power %g in column %d", v, i)
+		if err := checkPower(v, i); err != nil {
+			return fmt.Errorf("trace: %v", err)
 		}
 	}
 	cp := make([]float64, len(row))
@@ -253,55 +247,9 @@ func (p *PowerTrace) Write(w io.Writer) error {
 }
 
 // Read parses the ".ptrace" format written by Write. A missing interval
-// comment defaults the interval to defaultInterval.
+// comment defaults the interval to defaultInterval. It is a convenience
+// wrapper over the streaming Decoder (see NewDecoder for incremental
+// consumption of the same format).
 func Read(r io.Reader, defaultInterval float64) (*PowerTrace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	interval := defaultInterval
-	var tr *PowerTrace
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		if strings.HasPrefix(text, "#") {
-			var v float64
-			if n, _ := fmt.Sscanf(text, "# interval %g s", &v); n == 1 && v > 0 {
-				interval = v
-			}
-			continue
-		}
-		if tr == nil {
-			if interval <= 0 {
-				return nil, fmt.Errorf("trace: no interval specified")
-			}
-			var err error
-			tr, err = New(strings.Fields(text), interval)
-			if err != nil {
-				return nil, err
-			}
-			continue
-		}
-		fields := strings.Fields(text)
-		row := make([]float64, len(fields))
-		for i, f := range fields {
-			v, err := strconv.ParseFloat(f, 64)
-			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: %v", line, err)
-			}
-			row[i] = v
-		}
-		if err := tr.Append(row); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %v", line, err)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if tr == nil || len(tr.Rows) == 0 {
-		return nil, fmt.Errorf("trace: empty input")
-	}
-	return tr, nil
+	return DecodeAll(r, DecoderOptions{Format: FormatPTrace, DefaultInterval: defaultInterval})
 }

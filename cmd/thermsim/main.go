@@ -9,9 +9,14 @@
 //	# transient on an external floorplan + ptrace
 //	thermsim -flp chip.flp -ptrace chip.ptrace -package air-sink -rconv 0.3 -transient
 //
+//	# closed-loop DTM policy sweep from a declarative scenario spec
+//	thermsim scenario -spec sweep.json -workers 4
+//
 // With -workload the power comes from the built-in synthetic workload
 // pipeline (gcc/mcf/art); with -ptrace it is read from a HotSpot-format
-// power trace file.
+// power trace file. The scenario subcommand runs an internal/scenario spec
+// (the same JSON the thermsvc /v1/scenario endpoints accept) and prints
+// per-cell DTM metrics.
 package main
 
 import (
@@ -26,6 +31,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "scenario" {
+		if err := runScenarioCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "thermsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		flpName   = flag.String("floorplan", "ev6", "built-in floorplan: ev6 | athlon")
 		flpFile   = flag.String("flp", "", "external floorplan file (HotSpot .flp format; overrides -floorplan)")

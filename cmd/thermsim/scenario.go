@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+// runScenarioCmd implements the "thermsim scenario" subcommand: load a
+// declarative scenario spec, co-simulate the policy grid in closed loop, and
+// print per-cell metrics. It is the CLI face of internal/scenario; the same
+// spec posts to thermsvc's /v1/scenario endpoints unchanged.
+func runScenarioCmd(args []string) error {
+	fs := flag.NewFlagSet("thermsim scenario", flag.ContinueOnError)
+	var (
+		specPath = fs.String("spec", "", "scenario spec file (JSON; \"-\" reads stdin)")
+		workers  = fs.Int("workers", 0, "grid worker pool size (0 = GOMAXPROCS)")
+		stream   = fs.Bool("stream", false, "print NDJSON rows as cells finish instead of a table")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: thermsim scenario -spec file.json [-workers N] [-stream]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		fs.Usage()
+		return fmt.Errorf("need -spec")
+	}
+	var in io.Reader = os.Stdin
+	if *specPath != "-" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	spec, err := scenario.ParseSpec(in)
+	if err != nil {
+		return err
+	}
+	compiled, err := scenario.Compile(spec, scenario.Options{})
+	if err != nil {
+		return err
+	}
+	cells := compiled.Cells()
+	fmt.Fprintf(os.Stderr, "scenario %q: %d cells × %d steps of %.4g s\n",
+		compiled.Name(), len(cells), compiled.Steps(), compiled.Interval())
+
+	var onCell func(scenario.CellResult)
+	if *stream {
+		enc := json.NewEncoder(os.Stdout)
+		onCell = func(r scenario.CellResult) {
+			row := map[string]any{"cell": r.Cell.Index, "package": r.Cell.Package}
+			if r.Err != nil {
+				row["error"] = r.Err.Error()
+			} else {
+				row["metrics"] = r.Metrics
+			}
+			_ = enc.Encode(row)
+		}
+	}
+	results := compiled.RunGrid(nil, *workers, onCell)
+	if *stream {
+		return firstCellError(results)
+	}
+
+	fmt.Println("package      trigger  engage(ms)  sample(ms)  perf  actuator    duty  trig  coverage  peak(°C)  penalty")
+	for _, r := range results {
+		p := r.Cell.Policy
+		if r.Err != nil {
+			fmt.Printf("%-12s %7.1f  %10.1f  %10.2f  %4.2f  %-10s  error: %v\n",
+				r.Cell.Package, p.TriggerC, p.EngageDuration*1e3, p.SampleInterval*1e3, p.PerfFactor, p.Actuator, r.Err)
+			continue
+		}
+		m := r.Metrics
+		fmt.Printf("%-12s %7.1f  %10.1f  %10.2f  %4.2f  %-10s  %4.0f%%  %4d  %7.0f%%  %8.1f  %6.1f%%\n",
+			r.Cell.Package, p.TriggerC, p.EngageDuration*1e3, p.SampleInterval*1e3, p.PerfFactor, p.Actuator,
+			100*m.DutyCycle, m.Engagements, 100*m.ViolationCoverage, m.PeakC, 100*m.PerfPenalty)
+	}
+	return firstCellError(results)
+}
+
+func firstCellError(results []scenario.CellResult) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("cell %d (%s): %w", r.Cell.Index, r.Cell.Package, r.Err)
+		}
+	}
+	return nil
+}

@@ -1,70 +1,74 @@
 // dtmstudy sweeps dynamic-thermal-management parameters under both cooling
-// configurations, quantifying the paper's §5.1 point: a DTM policy tuned on
-// IR (oil) measurements is mis-tuned for the real air-cooled package —
-// engagement durations, trigger margins and resulting performance penalties
-// all shift.
+// configurations through the closed-loop scenario engine, quantifying the
+// paper's §5.1 point: a DTM policy tuned on IR (oil) measurements is
+// mis-tuned for the real air-cooled package — engagement durations, trigger
+// margins and resulting performance penalties all shift.
+//
+// The study runs one declarative scenario.Spec per package (each package's
+// trigger sits a fixed margin above its own steady baseline, so both
+// policies face the same headroom) and sweeps the engagement-duration axis
+// of the policy grid in parallel.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/dtm"
-	"repro/internal/floorplan"
-	"repro/internal/trace"
+	"repro/internal/scenario"
 )
 
 func main() {
-	fp := floorplan.EV6()
-	names := fp.Names()
-
 	// A bursty workload: 3 W into IntReg, 30 ms on / 70 ms off.
-	tr, err := trace.PulseTrain(names, "IntReg", 3.0, 30e-3, 70e-3, 1e-3, 20)
-	if err != nil {
-		log.Fatal(err)
+	burst := scenario.Phase{
+		Name:     "burst",
+		Duration: 2.0,
+		Pulse:    &scenario.PulseSpec{Block: "IntReg", PeakW: 3, OnS: 30e-3, OffS: 70e-3},
+	}
+	packages := []scenario.PackageSpec{
+		{Label: "air-sink", Kind: "air-sink", Rconv: 1.0},
+		{Label: "oil-silicon", Kind: "oil-silicon", Rconv: 1.0},
 	}
 
-	for _, kind := range []string{"air-sink", "oil-silicon"} {
-		model, err := core.BuildModel(fp, core.PackageSpec{Kind: kind, Rconv: 1.0})
+	for _, pkg := range packages {
+		// Probe this package's steady baseline with a never-triggering cell.
+		probe, err := scenario.Compile(&scenario.Spec{
+			Interval: 1e-3, EmergencyC: 1e6, InitialSteady: true,
+			Phases:   []scenario.Phase{burst},
+			Packages: []scenario.PackageSpec{pkg},
+			Policies: scenario.PolicyGrid{TriggerC: []float64{1e6}},
+		}, scenario.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		// Trigger a fixed margin above this package's steady baseline so
-		// both policies face the same headroom.
-		avg := tr.Average()
-		pm := map[string]float64{}
-		for i, n := range names {
-			pm[n] = avg[i]
-		}
-		vec, err := model.PowerVector(pm)
-		if err != nil {
-			log.Fatal(err)
-		}
-		base := model.SteadyState(vec)
-		trigger := base.BlockC("IntReg") + 3
+		baseline := probe.RunGrid(nil, 1, nil)[0].Metrics.InitialHotC
+		trigger := baseline + 3
 
-		fmt.Printf("%s  (baseline IntReg %.1f °C, trigger %.1f °C)\n", kind, base.BlockC("IntReg"), trigger)
+		// The study grid: one trigger, four engagement durations, closed
+		// loop, fanned across the worker pool.
+		spec := &scenario.Spec{
+			Name: "dtmstudy/" + pkg.Label, Interval: 1e-3,
+			EmergencyC: trigger + 5, InitialSteady: true,
+			Phases:   []scenario.Phase{burst},
+			Packages: []scenario.PackageSpec{pkg},
+			Policies: scenario.PolicyGrid{
+				TriggerC:        []float64{trigger},
+				EngageDurationS: []float64{2e-3, 5e-3, 20e-3, 60e-3},
+				PerfFactor:      []float64{0.5},
+			},
+		}
+		compiled, err := scenario.Compile(spec, scenario.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s  (baseline hottest %.1f °C, trigger %.1f °C)\n", pkg.Label, baseline, trigger)
 		fmt.Println("  engage(ms)  engaged(s)  triggers  peak(°C)  perf-penalty")
-		for _, engageMs := range []float64{2, 5, 20, 60} {
-			metrics, _, err := dtm.Run(dtm.Config{
-				Model: model,
-				Trace: tr,
-				Policy: dtm.Policy{
-					TriggerC:       trigger,
-					EngageDuration: engageMs * 1e-3,
-					SampleInterval: 1e-3,
-					PerfFactor:     0.5,
-					Actuator:       dtm.FetchGate,
-				},
-				EmergencyC:    trigger + 5,
-				InitialSteady: true,
-			}, "")
-			if err != nil {
-				log.Fatal(err)
+		for _, r := range compiled.RunGrid(nil, 0, nil) {
+			if r.Err != nil {
+				log.Fatal(r.Err)
 			}
+			m := r.Metrics
 			fmt.Printf("  %9.0f  %10.3f  %8d  %8.1f  %11.1f%%\n",
-				engageMs, metrics.EngagedTime, metrics.Engagements, metrics.PeakC, 100*metrics.PerfPenalty)
+				r.Cell.Policy.EngageDuration*1e3, m.EngagedS, m.Engagements, m.PeakC, 100*m.PerfPenalty)
 		}
 		fmt.Println()
 	}

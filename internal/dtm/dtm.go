@@ -70,11 +70,12 @@ func (p Policy) Validate() error {
 	return nil
 }
 
-// powerScale returns the dynamic-power multiplier while engaged.
-func (p Policy) powerScale() float64 {
+// PowerScale returns the dynamic-power multiplier while engaged: PerfFactor
+// for fetch gating (activity scales with throughput), PerfFactor³ for DVFS
+// (P ∝ f·V² with V ∝ f).
+func (p Policy) PowerScale() float64 {
 	switch p.Actuator {
 	case DVFS:
-		// P ∝ f·V² with V ∝ f ⇒ P ∝ f³.
 		return math.Pow(p.PerfFactor, 3)
 	default:
 		return p.PerfFactor
@@ -129,12 +130,13 @@ type Metrics struct {
 
 // Run simulates the closed loop and returns metrics plus the true
 // temperature trace of the named probe block (may be "" to skip).
+//
+// The simulation advances in steps of the trace interval; the policy's
+// SampleInterval and EngageDuration are quantized to whole steps by the
+// Controller contract (round half-up, minimum one step).
 func Run(cfg Config, probeBlock string) (Metrics, []hotspot.TracePoint, error) {
 	if cfg.Model == nil || cfg.Trace == nil {
 		return Metrics{}, nil, fmt.Errorf("dtm: need model and trace")
-	}
-	if err := cfg.Policy.Validate(); err != nil {
-		return Metrics{}, nil, err
 	}
 	if cfg.EmergencyC <= 0 {
 		return Metrics{}, nil, fmt.Errorf("dtm: non-positive emergency threshold")
@@ -170,6 +172,14 @@ func Run(cfg Config, probeBlock string) (Metrics, []hotspot.TracePoint, error) {
 		duration = cfg.Trace.Duration()
 	}
 	dt := cfg.Trace.Interval
+	ctrl, err := NewController(cfg.Policy, dt)
+	if err != nil {
+		return Metrics{}, nil, err
+	}
+	steps := int(math.Round(duration / dt))
+	if steps < 1 {
+		steps = 1
+	}
 
 	// Initial condition.
 	var temps []float64
@@ -193,13 +203,12 @@ func Run(cfg Config, probeBlock string) (Metrics, []hotspot.TracePoint, error) {
 	m.PeakC = math.Inf(-1)
 	m.ObservedPeakC = math.Inf(-1)
 
-	engagedUntil := -1.0
-	nextSample := 0.0
-	scale := cfg.Policy.powerScale()
+	scale := cfg.Policy.PowerScale()
 	blockPower := make([]float64, fp.N())
 	var points []hotspot.TracePoint
 
-	for t := 0.0; t < duration-1e-12; t += dt {
+	for step := 0; step < steps; step++ {
+		t := float64(step) * dt
 		res := cfg.Model.NewResult(temps)
 		blocksC := res.BlocksC()
 
@@ -221,7 +230,7 @@ func Run(cfg Config, probeBlock string) (Metrics, []hotspot.TracePoint, error) {
 		}
 
 		// Controller: sample sensors on schedule.
-		if t >= nextSample-1e-15 {
+		if ctrl.ShouldSample(step) {
 			obs := math.Inf(-1)
 			if len(sensorIdx) == 0 {
 				obs = hot
@@ -235,17 +244,11 @@ func Run(cfg Config, probeBlock string) (Metrics, []hotspot.TracePoint, error) {
 			if obs > m.ObservedPeakC {
 				m.ObservedPeakC = obs
 			}
-			if obs >= cfg.Policy.TriggerC {
-				if t >= engagedUntil {
-					m.Engagements++
-				}
-				engagedUntil = t + cfg.Policy.EngageDuration
-			}
-			nextSample += cfg.Policy.SampleInterval
+			ctrl.Observe(step, obs)
 		}
 
 		// Apply power (throttled while engaged).
-		engaged := t < engagedUntil
+		engaged := ctrl.Engaged(step)
 		row := cfg.Trace.At(math.Mod(t, cfg.Trace.Duration()))
 		for bi := range blockPower {
 			p := row[cols[bi]]
@@ -266,6 +269,7 @@ func Run(cfg Config, probeBlock string) (Metrics, []hotspot.TracePoint, error) {
 			m.PerfPenalty += dt * (1 - cfg.Policy.PerfFactor)
 		}
 	}
+	m.Engagements = ctrl.Engagements()
 	m.PerfPenalty /= duration
 	return m, points, nil
 }

@@ -67,11 +67,11 @@ func TestDVFSCutsPowerCubically(t *testing.T) {
 	p := basePolicy()
 	p.Actuator = DVFS
 	p.PerfFactor = 0.5
-	if s := p.powerScale(); s != 0.125 {
+	if s := p.PowerScale(); s != 0.125 {
 		t.Fatalf("DVFS power scale %g, want 0.125", s)
 	}
 	p.Actuator = FetchGate
-	if s := p.powerScale(); s != 0.5 {
+	if s := p.PowerScale(); s != 0.5 {
 		t.Fatalf("fetch-gate power scale %g, want 0.5", s)
 	}
 }

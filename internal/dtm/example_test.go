@@ -1,0 +1,39 @@
+package dtm_test
+
+import (
+	"fmt"
+
+	"repro/internal/dtm"
+)
+
+// ExamplePolicy shows the two actuators' power/performance trade-off and
+// the step-quantization contract: at the same 50% performance factor, fetch
+// gating halves dynamic power while DVFS cuts it cubically, and a 3.3e-4 s
+// sampling interval on 1e-4 s simulation steps rounds half-up to a 3-step
+// schedule.
+func ExamplePolicy() {
+	policy := dtm.Policy{
+		TriggerC:       72,
+		EngageDuration: 5e-3,
+		SampleInterval: 3.3e-4,
+		PerfFactor:     0.5,
+		Actuator:       dtm.FetchGate,
+	}
+	fmt.Println("valid:", policy.Validate() == nil)
+	fmt.Println("fetch-gate power scale:", policy.PowerScale())
+	policy.Actuator = dtm.DVFS
+	fmt.Println("dvfs power scale:", policy.PowerScale())
+
+	ctrl, err := dtm.NewController(policy, 1e-4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sample every:", ctrl.SampleSteps(), "steps")
+	fmt.Println("engage for:", ctrl.EngageSteps(), "steps")
+	// Output:
+	// valid: true
+	// fetch-gate power scale: 0.5
+	// dvfs power scale: 0.125
+	// sample every: 3 steps
+	// engage for: 50 steps
+}

@@ -1,9 +1,10 @@
 // Package floorplan represents chip floorplans: named rectangular blocks
-// tiling a die. It provides the HotSpot ".flp" interchange format, geometric
-// validation, block adjacency with shared-edge lengths (needed to build
-// lateral thermal resistances), and rasterization onto regular grids (needed
-// by the reference solver, the thermal-map renderers, and the IR camera
-// model).
+// tiling a die (the paper's §2 die geometry; DESIGN.md §2 records the
+// reconstruction of the two floorplans the paper uses). It provides the
+// HotSpot ".flp" interchange format, geometric validation, block adjacency
+// with shared-edge lengths (needed to build lateral thermal resistances),
+// and rasterization onto regular grids (needed by the reference solver, the
+// thermal-map renderers, and the IR camera model).
 //
 // The package ships the two floorplans used in the paper's experiments: an
 // Alpha EV6-like core (18 blocks, 16×16 mm) and an AMD Athlon 64-like die

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/floorplan"
 	"repro/internal/hotspot"
+	"repro/internal/trace"
 )
 
 // ExampleNew builds the two cooling configurations the paper contrasts and
@@ -77,4 +78,37 @@ func ExampleModel_RunTrace() {
 	// t=0.50s rise=65K
 	// t=0.75s rise=40K
 	// t=1.00s rise=25K
+}
+
+// ExampleSession_ReplayRows streams a power trace through a per-goroutine
+// simulation session, one backward-Euler step per row. The row source here
+// is an in-memory trace; a network stream decoded with trace.NewDecoder
+// replays bit-identically through the same path.
+func ExampleSession_ReplayRows() {
+	model, err := hotspot.New(hotspot.Config{
+		Floorplan: floorplan.EV6(),
+		Package:   hotspot.OilSilicon,
+		Oil:       hotspot.OilConfig{TargetRconv: 1.0},
+	})
+	if err != nil {
+		panic(err)
+	}
+	// 20 ms of 3 W bursts into the integer register file, 1 ms rows.
+	tr, err := trace.PulseTrain(floorplan.EV6().Names(), "IntReg", 3.0, 5e-3, 5e-3, 1e-3, 2)
+	if err != nil {
+		panic(err)
+	}
+	session := model.NewSession()
+	temps := model.AmbientState()
+	points, err := session.ReplayRows(temps, tr.Reader())
+	if err != nil {
+		panic(err)
+	}
+	first := points[0].BlockC[floorplan.EV6().Index("IntReg")]
+	last := points[len(points)-1].BlockC[floorplan.EV6().Index("IntReg")]
+	fmt.Println("points recorded:", len(points))
+	fmt.Println("IntReg warmed up:", last > first)
+	// Output:
+	// points recorded: 21
+	// IntReg warmed up: true
 }

@@ -3,6 +3,7 @@ package hotspot
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/pool"
 	"repro/internal/rcnet"
@@ -118,6 +119,33 @@ func (s *Session) ReplayRows(temps []float64, rows trace.RowReader) ([]TracePoin
 		return nil, fmt.Errorf("hotspot: empty trace: no power rows")
 	}
 	return out, nil
+}
+
+// StepBlockPower advances temps (length = node count, in place) by one
+// backward-Euler step of size dt under the given per-block power (floorplan
+// order, W). It is the building block of closed-loop co-simulation
+// (internal/scenario): callers recompute blockPower between steps from
+// feedback — throttling, temperature-dependent leakage — that an offline
+// trace cannot carry. Same-dt steps reuse the session's cached shifted
+// operator, exactly like ReplayRows.
+func (s *Session) StepBlockPower(temps, blockPower []float64, dt float64) error {
+	m := s.m
+	if len(temps) != m.net.N() {
+		return fmt.Errorf("hotspot: temperature vector length %d, want %d", len(temps), m.net.N())
+	}
+	if len(blockPower) != m.cfg.Floorplan.N() {
+		return fmt.Errorf("hotspot: got %d block powers, floorplan has %d", len(blockPower), m.cfg.Floorplan.N())
+	}
+	for i := range s.nodePower {
+		s.nodePower[i] = 0
+	}
+	for bi, w := range blockPower {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("hotspot: invalid power %g for block %d", w, bi)
+		}
+		s.nodePower[m.blockNode[bi]] = w
+	}
+	return s.rs.StepBE(temps, s.nodePower, dt)
 }
 
 // ReplayRows is Session.ReplayRows on a throwaway session. Safe to call

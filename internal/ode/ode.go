@@ -1,7 +1,8 @@
 // Package ode provides the explicit time integrators used for transient
-// thermal simulation. The adaptive fourth-order Runge-Kutta integrator
-// mirrors the scheme used by the original HotSpot tool: a classic RK4 step
-// with step doubling for local error control.
+// thermal simulation (the paper's §4.1 transient studies; kernels layer of
+// DESIGN.md §1). The adaptive fourth-order Runge-Kutta integrator mirrors
+// the scheme used by the original HotSpot tool: a classic RK4 step with
+// step doubling for local error control.
 //
 // Implicit (backward-Euler) stepping for stiff linear RC systems lives in
 // package rcnet, where the linear structure of the problem allows a direct

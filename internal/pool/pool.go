@@ -1,7 +1,10 @@
 // Package pool provides the fixed-size goroutine worker pool shared by the
 // batched thermal-simulation APIs (rcnet.Solver.TransientBatch,
-// hotspot.RunSweep). It exists so the concurrency pattern — worker clamp,
-// job fan-out, completion barrier — lives in exactly one place.
+// hotspot.RunSweep, hotspot.RunReplayBatch, scenario.RunGrid). It exists so
+// the concurrency pattern — worker clamp, job fan-out, per-worker state,
+// completion barrier — lives in exactly one place; DESIGN.md §1.3 records
+// the concurrency model (immutable shared operators, one solving session
+// per worker) these pools implement.
 package pool
 
 import (

@@ -1,10 +1,13 @@
-// Package power is the repository's Wattch stand-in: it converts the
-// per-unit activity counts produced by the uarch timing model into per-block
-// power traces for the EV6 floorplan. The model follows Wattch's
+// Package power is the repository's Wattch stand-in (the power side of the
+// paper's §5 SimpleScalar/Wattch setup feeding Figs. 10 and 12): it converts
+// the per-unit activity counts produced by the uarch timing model into
+// per-block power traces for the EV6 floorplan. The model follows Wattch's
 // conditional-clocking style: each unit burns energy-per-access × access
 // rate plus an idle fraction of its peak power (imperfect clock gating),
 // a clock-tree power spread over the core, and an area-proportional leakage
-// term with exponential temperature dependence.
+// term with exponential temperature dependence (the feedback the paper's §6
+// future-work discussion flags; ActivityPower/LeakagePower expose the split
+// the closed-loop engine needs to apply it online).
 package power
 
 import (
@@ -195,6 +198,49 @@ func (m *Model) BlockPower(s uarch.ActivitySample) []float64 {
 		out[bi] += m.cfg.LeakageW * b.Area() / m.totalArea
 	}
 	return out
+}
+
+// ActivityPower splits one activity sample's power into its dynamic and
+// static components over an explicit wall-clock interval (s), per block in
+// floorplan order:
+//
+//   - dyn is the activity-proportional power (energy-per-access × counts /
+//     wallDT). Passing the wall-clock interval rather than deriving it from
+//     the sample's cycle count matters for closed-loop co-simulation: a
+//     throttled CPU executes fewer cycles in the same wall-clock step, and
+//     its dynamic energy must be spread over the step, not the cycles.
+//   - static is the always-on portion at nominal voltage and frequency: the
+//     idle (imperfect clock gating) term plus the clock tree.
+//
+// Leakage is excluded from both — closed-loop callers add the
+// temperature-dependent LeakagePower of the current state instead of the
+// flat reference term BlockPower folds in. BlockPower(s) equals
+// dyn + static + LeakagePower(T_ref) when wallDT matches the sample's own
+// interval.
+func (m *Model) ActivityPower(s uarch.ActivitySample, wallDT float64) (dyn, static []float64, err error) {
+	if !(wallDT > 0) {
+		return nil, nil, fmt.Errorf("power: non-positive interval %g", wallDT)
+	}
+	dyn = make([]float64, m.fp.N())
+	static = make([]float64, m.fp.N())
+	deposit := func(dst []float64, u uarch.Unit, p float64) {
+		if bi := m.unitIdx[u]; bi >= 0 {
+			dst[bi] += p
+		} else {
+			for k, l2bi := range m.l2Idx {
+				dst[l2bi] += p * m.l2Share[k]
+			}
+		}
+	}
+	for u := uarch.Unit(0); u < uarch.NumUnits; u++ {
+		eJ := m.cfg.EnergyNJ[u] * 1e-9
+		deposit(dyn, u, eJ*float64(s.Counts[u])/wallDT)
+		deposit(static, u, m.cfg.IdleFrac*eJ*m.cfg.PeakRate[u]*m.cfg.ClockHz)
+	}
+	for _, bi := range m.coreIdx {
+		static[bi] += m.cfg.ClockTreeW * m.fp.Blocks[bi].Area() / m.coreArea
+	}
+	return dyn, static, nil
 }
 
 // Trace converts a run of activity samples into a power trace. All samples

@@ -197,3 +197,47 @@ func TestTraceErrors(t *testing.T) {
 		t.Fatal("empty samples should fail")
 	}
 }
+
+// TestActivityPowerReassemblesBlockPower: dyn + static + reference leakage
+// must reproduce BlockPower exactly when the wall interval matches the
+// sample's own cycle time.
+func TestActivityPowerReassemblesBlockPower(t *testing.T) {
+	m, samples := gccTrace(t, 200_000, 10_000)
+	s := samples[0]
+	wallDT := float64(s.Cycles) / m.Config().ClockHz
+	dyn, static, err := m.ActivityPower(s, wallDT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refC := make([]float64, m.Floorplan().N())
+	for i := range refC {
+		refC[i] = m.Config().LeakRefC
+	}
+	leak, err := m.LeakagePower(refC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.BlockPower(s)
+	for bi := range want {
+		got := dyn[bi] + static[bi] + leak[bi]
+		if d := math.Abs(got - want[bi]); d > 1e-12*math.Max(1, want[bi]) {
+			t.Fatalf("block %d: dyn+static+leak = %g, BlockPower = %g (Δ %g)", bi, got, want[bi], d)
+		}
+	}
+	// Stretching the wall interval dilutes only the dynamic part.
+	dyn2, static2, err := m.ActivityPower(s, 2*wallDT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi := range dyn {
+		if math.Abs(dyn2[bi]-dyn[bi]/2) > 1e-12*math.Max(1, dyn[bi]) {
+			t.Fatalf("block %d: doubling wallDT should halve dynamic power", bi)
+		}
+		if static2[bi] != static[bi] {
+			t.Fatalf("block %d: static power must not depend on wallDT", bi)
+		}
+	}
+	if _, _, err := m.ActivityPower(s, 0); err == nil {
+		t.Fatal("zero interval should fail")
+	}
+}

@@ -1,0 +1,819 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dtm"
+	"repro/internal/floorplan"
+	"repro/internal/hotspot"
+	"repro/internal/pool"
+	"repro/internal/power"
+	"repro/internal/uarch"
+)
+
+// Engine limits: specs are untrusted input and every grid cell is a full
+// co-simulation, so the per-cell step count and the co-simulated CPU cycles
+// are bounded up front instead of discovered by timeout.
+const (
+	maxCellSteps          = 200_000
+	maxWorkloadCyclesCell = 1_000_000_000
+)
+
+// Options tune Compile.
+type Options struct {
+	// Models resolves a hotspot.Config into a compiled model. nil compiles
+	// directly; the simulation service passes a closure over its
+	// single-flight model cache so grid packages share cached models with
+	// every other endpoint (the cache key is Config.Fingerprint, identical
+	// either way). Compile memoizes per-fingerprint within one call, so even
+	// the direct path compiles each distinct package exactly once.
+	Models func(hotspot.Config) (*hotspot.Model, error)
+	// Ctx, when non-nil, bounds the expensive parts of Compile itself — the
+	// nominal workload prepass (up to 1e9 co-simulated CPU cycles), model
+	// resolution and the initial steady solves — so a deadline or client
+	// disconnect cannot pin a serving slot in compilation. RunGrid takes its
+	// own context.
+	Ctx context.Context
+}
+
+// Cell identifies one grid cell: a package × policy combination.
+type Cell struct {
+	// Index is the cell's position in the deterministic grid expansion
+	// (packages outermost, then the PolicyGrid cross product).
+	Index int
+	// Package is the package label.
+	Package string
+	// Policy is the DTM policy of this cell.
+	Policy dtm.Policy
+}
+
+// Metrics summarizes one closed-loop grid cell.
+type Metrics struct {
+	// DurationS is the simulated time (s).
+	DurationS float64 `json:"duration_s"`
+	// EngagedS is the total time DTM throttled (s); DutyCycle is its
+	// fraction of the run.
+	EngagedS  float64 `json:"engaged_s"`
+	DutyCycle float64 `json:"duty_cycle"`
+	// Engagements counts distinct trigger events.
+	Engagements int `json:"engagements"`
+	// PerfPenalty is the fraction of nominal throughput lost to throttling:
+	// over workload phases it is measured as lost committed instructions
+	// against the nominal (unthrottled) run of the same schedule; over trace
+	// and pulse phases it accrues (1−PerfFactor) per engaged step.
+	PerfPenalty float64 `json:"perf_penalty"`
+	// ViolationS is total time the true hottest block exceeded EmergencyC;
+	// CoveredViolationS is the part of it during which DTM was engaged, and
+	// ViolationCoverage their ratio (1 when there were no violations —
+	// nothing was missed). Low coverage under an active policy means the
+	// sensors or the policy missed emergencies (§5.3/§5.4).
+	ViolationS        float64 `json:"violation_s"`
+	CoveredViolationS float64 `json:"covered_violation_s"`
+	ViolationCoverage float64 `json:"violation_coverage"`
+	// PeakC is the true peak block temperature; ObservedPeakC the hottest
+	// sensor reading the controller saw.
+	PeakC         float64 `json:"peak_c"`
+	ObservedPeakC float64 `json:"observed_peak_c"`
+	// InitialHotC and FinalHotC are the hottest block temperatures at the
+	// first and after the last step.
+	InitialHotC float64 `json:"initial_hot_c"`
+	FinalHotC   float64 `json:"final_hot_c"`
+	// Committed counts instructions committed in workload phases (0 for
+	// pure trace/pulse scenarios).
+	Committed uint64 `json:"committed,omitempty"`
+}
+
+// CellResult pairs a cell with its outcome.
+type CellResult struct {
+	Cell    Cell
+	Metrics Metrics
+	Err     error
+}
+
+type phaseKind int
+
+const (
+	phaseWorkload phaseKind = iota
+	phaseTrace
+	phasePulse
+)
+
+// compiledPhase is one schedule segment resolved against the floorplan.
+type compiledPhase struct {
+	name  string
+	kind  phaseKind
+	steps int
+
+	// workload
+	workload      uarch.Workload
+	seed          int64
+	cyclesPerStep float64
+
+	// trace: rows in floorplan order (unnamed blocks zero-filled)
+	rows        [][]float64
+	rowInterval float64
+
+	// pulse
+	pulseBlock         int
+	peakW, baseW       float64
+	onS, offS, periodS float64
+}
+
+// compiledPackage is one cooling configuration with its initial state.
+type compiledPackage struct {
+	label     string
+	model     *hotspot.Model
+	initTemps []float64
+}
+
+// Compiled is a scenario resolved against floorplan, models and the policy
+// grid, ready to run. It is immutable after Compile and safe to share across
+// goroutines.
+type Compiled struct {
+	spec     Spec
+	fp       *floorplan.Floorplan
+	dt       float64
+	steps    int
+	phases   []compiledPhase
+	pkgs     []compiledPackage
+	policies []dtm.Policy
+	pm       *power.Model // non-nil iff the schedule has workload phases
+
+	sensorIdx []int
+	sensorOff []float64
+	// flatLeak is the reference-temperature leakage vector (nil without
+	// workload phases), precomputed so flat-leakage steps allocate nothing.
+	flatLeak []float64
+
+	// nominal (unthrottled) schedule statistics from the compile-time
+	// prepass: the per-cell performance baseline and the initial-steady
+	// operating point.
+	nominalCommitted uint64
+	workloadSteps    int
+	avgBlockPower    []float64
+}
+
+// Name returns the scenario's label.
+func (c *Compiled) Name() string { return c.spec.Name }
+
+// Floorplan returns the resolved floorplan.
+func (c *Compiled) Floorplan() *floorplan.Floorplan { return c.fp }
+
+// Interval returns the control step (s).
+func (c *Compiled) Interval() float64 { return c.dt }
+
+// Steps returns the number of control steps each cell simulates.
+func (c *Compiled) Steps() int { return c.steps }
+
+// Cells returns the deterministic grid expansion: packages outermost, then
+// the PolicyGrid cross product.
+func (c *Compiled) Cells() []Cell {
+	out := make([]Cell, 0, len(c.pkgs)*len(c.policies))
+	for _, pkg := range c.pkgs {
+		for _, pol := range c.policies {
+			out = append(out, Cell{Index: len(out), Package: pkg.label, Policy: pol})
+		}
+	}
+	return out
+}
+
+// Compile validates and resolves a spec: floorplan, thermal models (one per
+// package, via Options.Models or a direct build), phase schedules, sensors
+// and the expanded policy grid. It also runs the nominal (unthrottled)
+// schedule once to fix the per-cell performance baseline and, when
+// InitialSteady is set, the initial operating point. All spec-shaped
+// failures return a *SpecError.
+func Compile(spec *Spec, opts Options) (*Compiled, error) {
+	if spec == nil {
+		return nil, specErrf("(spec)", "nil spec")
+	}
+	c := &Compiled{spec: *spec}
+	s := &c.spec
+	if s.Interval == 0 {
+		s.Interval = 1e-3
+	}
+	if s.Seed == 0 {
+		s.Seed = 2009
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	c.dt = s.Interval
+
+	// Floorplan.
+	var err error
+	c.fp, err = resolveFloorplan(s)
+	if err != nil {
+		return nil, err
+	}
+
+	// Power model, if any phase steps the CPU.
+	hasWorkload := false
+	for _, p := range s.Phases {
+		if p.Workload != "" {
+			hasWorkload = true
+		}
+	}
+	if hasWorkload {
+		pcfg, err := powerConfig(s.Power)
+		if err != nil {
+			return nil, err
+		}
+		c.pm, err = power.New(pcfg, c.fp)
+		if err != nil {
+			return nil, specErrf("floorplan", "workload phases need the EV6 block set: %v", err)
+		}
+		if c.flatLeak, err = c.pm.LeakagePower(c.refTemps()); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phases.
+	for i, p := range s.Phases {
+		cp, err := c.compilePhase(i, p)
+		if err != nil {
+			return nil, err
+		}
+		c.phases = append(c.phases, cp)
+	}
+	c.steps = 0
+	sum := 0
+	for _, p := range c.phases {
+		sum += p.steps
+	}
+	if s.Duration > 0 {
+		c.steps = int(math.Round(s.Duration / c.dt))
+		if c.steps < 1 {
+			c.steps = 1
+		}
+	} else {
+		c.steps = sum
+	}
+	if c.steps > maxCellSteps {
+		return nil, specErrf("duration", "scenario is %d control steps per cell, limit %d", c.steps, maxCellSteps)
+	}
+	if c.pm != nil {
+		// Schedule arithmetic only — no producer, whose phase entries
+		// construct CPU/stream state.
+		var cycles float64
+		phase, inPhase := 0, 0
+		for k := 0; k < c.steps; k++ {
+			ph := &c.phases[phase]
+			if ph.kind == phaseWorkload {
+				cycles += ph.cyclesPerStep
+			}
+			if inPhase++; inPhase >= ph.steps {
+				inPhase = 0
+				phase = (phase + 1) % len(c.phases)
+			}
+		}
+		if cycles > maxWorkloadCyclesCell {
+			return nil, specErrf("interval", "scenario co-simulates %.3g CPU cycles per cell, limit %d (lower power.clock_hz or the duration)", cycles, int64(maxWorkloadCyclesCell))
+		}
+	}
+
+	// Sensors.
+	for i, sv := range s.Sensors {
+		bi := c.fp.Index(sv.Block)
+		if bi < 0 {
+			return nil, specErrf(fmt.Sprintf("sensors[%d].block", i), "unknown block %q", sv.Block)
+		}
+		c.sensorIdx = append(c.sensorIdx, bi)
+		c.sensorOff = append(c.sensorOff, sv.OffsetC)
+	}
+
+	// Policy grid (each policy must survive controller quantization).
+	c.policies, err = s.Policies.policies(c.dt)
+	if err != nil {
+		return nil, specErrf("policies", "%v", err)
+	}
+	for i, pol := range c.policies {
+		if _, err := dtm.NewController(pol, c.dt); err != nil {
+			return nil, specErrf("policies", "policy %d: %v", i, err)
+		}
+	}
+
+	// Packages, through the model resolver (memoized by fingerprint so each
+	// distinct configuration compiles exactly once per call even without a
+	// shared cache).
+	resolve := opts.Models
+	if resolve == nil {
+		resolve = func(cfg hotspot.Config) (*hotspot.Model, error) { return hotspot.New(cfg) }
+	}
+	memo := make(map[string]*hotspot.Model)
+	for i, ps := range s.Packages {
+		if err := compileCtxErr(opts.Ctx); err != nil {
+			return nil, err
+		}
+		ambientC := ps.AmbientC
+		if ambientC == 0 {
+			ambientC = 45
+		}
+		cfg, err := core.BuildConfig(c.fp, core.PackageSpec{
+			Kind:      ps.Kind,
+			Rconv:     ps.Rconv,
+			Direction: ps.Direction,
+			Secondary: ps.Secondary,
+			AmbientK:  ambientC + 273.15,
+		})
+		if err != nil {
+			return nil, specErrf(fmt.Sprintf("packages[%d]", i), "%v", err)
+		}
+		fpr := cfg.Fingerprint()
+		m := memo[fpr]
+		if m == nil {
+			if m, err = resolve(cfg); err != nil {
+				return nil, specErrf(fmt.Sprintf("packages[%d]", i), "model: %v", err)
+			}
+			memo[fpr] = m
+		}
+		label := ps.Label
+		if label == "" {
+			label = cfg.Package.String()
+		}
+		c.pkgs = append(c.pkgs, compiledPackage{label: label, model: m})
+	}
+
+	if err := c.nominalPrepass(opts.Ctx); err != nil {
+		return nil, err
+	}
+	for i := range c.pkgs {
+		pkg := &c.pkgs[i]
+		if err := compileCtxErr(opts.Ctx); err != nil {
+			return nil, err
+		}
+		if s.InitialSteady {
+			vec, err := pkg.model.BlockPowerVector(c.avgBlockPower)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: package %q initial steady: %w", pkg.label, err)
+			}
+			pkg.initTemps = pkg.model.SteadyState(vec).Temps
+		} else {
+			pkg.initTemps = pkg.model.AmbientState()
+		}
+	}
+	return c, nil
+}
+
+func resolveFloorplan(s *Spec) (*floorplan.Floorplan, error) {
+	if s.FLP != "" {
+		fp, err := floorplan.Parse(strings.NewReader(s.FLP))
+		if err != nil {
+			return nil, specErrf("flp", "%v", err)
+		}
+		if err := fp.ValidateNoOverlap(); err != nil {
+			return nil, specErrf("flp", "%v", err)
+		}
+		return fp, nil
+	}
+	switch s.Floorplan {
+	case "", "ev6":
+		return floorplan.EV6(), nil
+	case "athlon":
+		return floorplan.Athlon(), nil
+	default:
+		return nil, specErrf("floorplan", "unknown floorplan %q (have ev6, athlon, or inline flp)", s.Floorplan)
+	}
+}
+
+func powerConfig(ps *PowerSpec) (power.Config, error) {
+	cfg := power.DefaultWattch()
+	if ps == nil {
+		return cfg, nil
+	}
+	set := func(field string, dst *float64, v float64) error {
+		if v == 0 {
+			return nil
+		}
+		if !finitePos(v) {
+			return specErrf("power."+field, "must be positive and finite, got %g", v)
+		}
+		*dst = v
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		dst  *float64
+		v    float64
+	}{
+		{"clock_hz", &cfg.ClockHz, ps.ClockHz},
+		{"clock_tree_w", &cfg.ClockTreeW, ps.ClockTreeW},
+		{"leakage_w", &cfg.LeakageW, ps.LeakageW},
+		{"leak_ref_c", &cfg.LeakRefC, ps.LeakRefC},
+		{"leak_double_c", &cfg.LeakDoubleC, ps.LeakDoubleC},
+	} {
+		if err := set(f.name, f.dst, f.v); err != nil {
+			return cfg, err
+		}
+	}
+	if ps.IdleFrac != 0 {
+		if ps.IdleFrac < 0 || ps.IdleFrac > 1 || math.IsNaN(ps.IdleFrac) {
+			return cfg, specErrf("power.idle_frac", "must be in [0,1], got %g", ps.IdleFrac)
+		}
+		cfg.IdleFrac = ps.IdleFrac
+	}
+	return cfg, nil
+}
+
+func (c *Compiled) compilePhase(i int, p Phase) (compiledPhase, error) {
+	cp := compiledPhase{name: p.Name}
+	cp.steps = int(math.Round(p.Duration / c.dt))
+	if cp.steps < 1 {
+		cp.steps = 1
+	}
+	switch {
+	case p.Workload != "":
+		cp.kind = phaseWorkload
+		cp.workload = uarch.Workloads()[p.Workload]
+		cp.seed = c.spec.Seed + int64(i)
+		cp.cyclesPerStep = c.dt * c.pm.Config().ClockHz
+		if cp.cyclesPerStep < 1 {
+			return cp, specErrf(fmt.Sprintf("phases[%d]", i),
+				"interval %g at %g Hz co-simulates less than one CPU cycle per step", c.dt, c.pm.Config().ClockHz)
+		}
+	case p.Trace != nil:
+		cp.kind = phaseTrace
+		cp.rowInterval = p.Trace.Interval
+		cols := make([]int, len(p.Trace.Names))
+		for ci, name := range p.Trace.Names {
+			bi := c.fp.Index(name)
+			if bi < 0 {
+				return cp, specErrf(fmt.Sprintf("phases[%d].trace.names[%d]", i, ci), "unknown block %q", name)
+			}
+			cols[ci] = bi
+		}
+		cp.rows = make([][]float64, len(p.Trace.Rows))
+		for r, row := range p.Trace.Rows {
+			full := make([]float64, c.fp.N())
+			for ci, v := range row {
+				full[cols[ci]] = v
+			}
+			cp.rows[r] = full
+		}
+	case p.Pulse != nil:
+		cp.kind = phasePulse
+		cp.pulseBlock = c.fp.Index(p.Pulse.Block)
+		if cp.pulseBlock < 0 {
+			return cp, specErrf(fmt.Sprintf("phases[%d].pulse.block", i), "unknown block %q", p.Pulse.Block)
+		}
+		cp.peakW = p.Pulse.PeakW
+		cp.baseW = p.Pulse.BaseW
+		cp.onS = p.Pulse.OnS
+		cp.offS = p.Pulse.OffS
+		cp.periodS = p.Pulse.OnS + p.Pulse.OffS
+	}
+	return cp, nil
+}
+
+// producer walks the phase schedule step by step and fills per-step block
+// power. Workload phases own a live CPU whose progress is throttled by the
+// controller's engagement — the closed loop; trace and pulse phases scale
+// their rows by the policy's power multiplier.
+type producer struct {
+	c       *Compiled
+	phase   int
+	inPhase int
+
+	// workload phase state
+	cpu          *uarch.CPU
+	targetCycles float64
+	baseCycle    uint64
+}
+
+func (c *Compiled) newProducer() *producer {
+	p := &producer{c: c}
+	p.enterPhase()
+	return p
+}
+
+func (p *producer) enterPhase() {
+	ph := &p.c.phases[p.phase]
+	p.cpu = nil
+	if ph.kind == phaseWorkload {
+		// A fresh, identically-seeded stream per phase entry: every grid
+		// cell sees the same nominal instruction sequence and diverges only
+		// through closed-loop throttling.
+		stream, err := uarch.NewStream(ph.workload, ph.seed)
+		if err != nil {
+			panic(fmt.Sprintf("scenario: compiled workload rejected: %v", err))
+		}
+		cpu, err := uarch.NewCPU(uarch.DefaultCPU(), stream)
+		if err != nil {
+			panic(fmt.Sprintf("scenario: compiled CPU rejected: %v", err))
+		}
+		p.cpu = cpu
+		p.targetCycles = 0
+		p.baseCycle = 0
+	}
+}
+
+func (p *producer) advance() {
+	p.inPhase++
+	if p.inPhase >= p.c.phases[p.phase].steps {
+		p.inPhase = 0
+		p.phase = (p.phase + 1) % len(p.c.phases)
+		p.enterPhase()
+	}
+}
+
+// next fills blockPower for the current step and advances the schedule.
+// progress is the CPU cycle-progress factor (1 nominal, PerfFactor while
+// engaged); vScale/sScale scale dynamic and static power (DVFS voltage and
+// frequency terms); rowScale multiplies trace/pulse rows; leakTempsC, when
+// non-nil, evaluates workload leakage at those block temperatures instead of
+// the reference.
+func (p *producer) next(blockPower []float64, progress, vScale, sScale, rowScale float64, leakTempsC []float64) (committed uint64, err error) {
+	c := p.c
+	ph := &c.phases[p.phase]
+	switch ph.kind {
+	case phaseWorkload:
+		p.targetCycles += ph.cyclesPerStep * progress
+		var agg uarch.ActivitySample
+		executed := p.cpu.Cycle() - p.baseCycle
+		if want := p.targetCycles - float64(executed); want >= 1 {
+			samples, err := p.cpu.Run(uint64(want), uint64(want))
+			if err != nil {
+				return 0, fmt.Errorf("scenario: workload step: %w", err)
+			}
+			for _, s := range samples {
+				agg.Committed += s.Committed
+				for u := range agg.Counts {
+					agg.Counts[u] += s.Counts[u]
+				}
+			}
+		}
+		dyn, static, err := c.pm.ActivityPower(agg, c.dt)
+		if err != nil {
+			return 0, err
+		}
+		leak := c.flatLeak
+		if leakTempsC != nil {
+			if leak, err = c.pm.LeakagePower(leakTempsC); err != nil {
+				return 0, err
+			}
+		}
+		for bi := range blockPower {
+			blockPower[bi] = dyn[bi]*vScale + static[bi]*sScale + leak[bi]
+		}
+		committed = agg.Committed
+	case phaseTrace:
+		tau := float64(p.inPhase) * c.dt
+		idx := int(tau/ph.rowInterval+1e-9) % len(ph.rows)
+		row := ph.rows[idx]
+		for bi := range blockPower {
+			blockPower[bi] = row[bi] * rowScale
+		}
+	case phasePulse:
+		tau := math.Mod(float64(p.inPhase)*c.dt, ph.periodS)
+		w := ph.baseW
+		if tau < ph.onS-1e-12 {
+			w = ph.peakW
+		}
+		for bi := range blockPower {
+			blockPower[bi] = 0
+		}
+		blockPower[ph.pulseBlock] = w * rowScale
+	}
+	p.advance()
+	return committed, nil
+}
+
+// compileCtxErr reports whether an Options.Ctx deadline/cancellation should
+// abort compilation; a nil ctx never aborts.
+func compileCtxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("scenario: compile aborted: %w", err)
+	}
+	return nil
+}
+
+// refTemps returns the reference-temperature vector for flat leakage.
+func (c *Compiled) refTemps() []float64 {
+	ref := make([]float64, c.fp.N())
+	for i := range ref {
+		ref[i] = c.pm.Config().LeakRefC
+	}
+	return ref
+}
+
+// nominalPrepass runs the schedule once without throttling to record the
+// average nominal block power (the InitialSteady operating point) and the
+// nominal committed-instruction baseline for PerfPenalty.
+func (c *Compiled) nominalPrepass(ctx context.Context) error {
+	sums := make([]float64, c.fp.N())
+	blockPower := make([]float64, c.fp.N())
+	pr := c.newProducer()
+	for k := 0; k < c.steps; k++ {
+		// Per-step: one workload step can co-simulate millions of CPU
+		// cycles, and ctx.Err is noise next to any step's real work.
+		if err := compileCtxErr(ctx); err != nil {
+			return err
+		}
+		isWorkload := c.phases[pr.phase].kind == phaseWorkload
+		committed, err := pr.next(blockPower, 1, 1, 1, 1, nil)
+		if err != nil {
+			return err
+		}
+		if isWorkload {
+			c.workloadSteps++
+			c.nominalCommitted += committed
+		}
+		for bi, w := range blockPower {
+			sums[bi] += w
+		}
+	}
+	c.avgBlockPower = make([]float64, c.fp.N())
+	for bi := range sums {
+		c.avgBlockPower[bi] = sums[bi] / float64(c.steps)
+	}
+	return nil
+}
+
+// RunGrid co-simulates every grid cell across a worker pool (workers ≤ 0 =
+// GOMAXPROCS) and returns per-cell results indexed like Cells(). Each worker
+// keeps one stepping hotspot.Session per distinct model, so same-package
+// cells share a cached backward-Euler operator; cells themselves are fully
+// independent (own CPU state, own temperatures, own controller), which makes
+// the results bit-identical for any worker count. onCell, when non-nil, is
+// called once per cell as it finishes (any order, serialized) — the
+// service's NDJSON streaming hook. ctx, when non-nil, aborts unfinished
+// cells with its error once cancelled; finished cells keep their results.
+func (c *Compiled) RunGrid(ctx context.Context, workers int, onCell func(CellResult)) []CellResult {
+	cells := c.Cells()
+	results := make([]CellResult, len(cells))
+	var mu sync.Mutex
+	pool.Run(len(cells), workers, func() func(int) {
+		sessions := make(map[*hotspot.Model]*hotspot.Session)
+		return func(i int) {
+			cell := cells[i]
+			pkg := &c.pkgs[cell.Index/len(c.policies)]
+			res := CellResult{Cell: cell}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						res.Err = fmt.Errorf("scenario: cell %d panicked: %v", i, r)
+					}
+				}()
+				se := sessions[pkg.model]
+				if se == nil {
+					se = pkg.model.NewSession()
+					sessions[pkg.model] = se
+				}
+				res.Metrics, res.Err = c.runCell(ctx, se, pkg, cell.Policy)
+			}()
+			results[i] = res
+			if onCell != nil {
+				mu.Lock()
+				onCell(res)
+				mu.Unlock()
+			}
+		}
+	})
+	return results
+}
+
+// runCell runs one closed-loop cell. Stepping order (DESIGN.md §6): read the
+// true state, account violations, sample sensors on the controller schedule,
+// decide engagement, produce this step's power under that engagement, then
+// advance the thermal model — so actuation alters the power of the step it
+// triggers in, and its thermal effect reaches the sensors one step later.
+func (c *Compiled) runCell(ctx context.Context, se *hotspot.Session, pkg *compiledPackage, pol dtm.Policy) (Metrics, error) {
+	ctrl, err := dtm.NewController(pol, c.dt)
+	if err != nil {
+		return Metrics{}, err
+	}
+	model := pkg.model
+	temps := append([]float64(nil), pkg.initTemps...)
+	blockPower := make([]float64, c.fp.N())
+	pr := c.newProducer()
+
+	var m Metrics
+	m.DurationS = float64(c.steps) * c.dt
+	m.PeakC = math.Inf(-1)
+	m.ObservedPeakC = math.Inf(-1)
+	var engagedNonWorkloadPenalty float64
+
+	for step := 0; step < c.steps; step++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return m, fmt.Errorf("scenario: aborted at step %d/%d: %w", step, c.steps, err)
+			}
+		}
+		blocksC := model.NewResult(temps).BlocksC()
+		hot := blocksC[0]
+		for _, v := range blocksC {
+			if v > hot {
+				hot = v
+			}
+		}
+		if step == 0 {
+			m.InitialHotC = hot
+		}
+		if hot > m.PeakC {
+			m.PeakC = hot
+		}
+
+		// Sense and decide.
+		if ctrl.ShouldSample(step) {
+			obs := math.Inf(-1)
+			if len(c.sensorIdx) == 0 {
+				obs = hot
+			} else {
+				for i, bi := range c.sensorIdx {
+					if v := blocksC[bi] + c.sensorOff[i]; v > obs {
+						obs = v
+					}
+				}
+			}
+			if obs > m.ObservedPeakC {
+				m.ObservedPeakC = obs
+			}
+			ctrl.Observe(step, obs)
+		}
+		engaged := ctrl.Engaged(step)
+
+		// Violation accounting against the true state.
+		if hot > c.spec.EmergencyC {
+			m.ViolationS += c.dt
+			if engaged {
+				m.CoveredViolationS += c.dt
+			}
+		}
+
+		// Produce this step's power under the engagement decision.
+		progress, vScale, sScale, rowScale := 1.0, 1.0, 1.0, 1.0
+		if engaged {
+			progress = pol.PerfFactor
+			rowScale = pol.PowerScale()
+			if pol.Actuator == dtm.DVFS {
+				f := pol.PerfFactor
+				vScale = f * f     // dynamic: energy/access ∝ V²
+				sScale = f * f * f // static: idle/clock power ∝ f·V²
+			}
+		}
+		isWorkload := c.phases[pr.phase].kind == phaseWorkload
+		var leakTemps []float64
+		if isWorkload && !c.spec.DisableLeakageFeedback {
+			leakTemps = blocksC
+		}
+		committed, err := pr.next(blockPower, progress, vScale, sScale, rowScale, leakTemps)
+		if err != nil {
+			return m, err
+		}
+		m.Committed += committed
+		if engaged {
+			m.EngagedS += c.dt
+			if !isWorkload {
+				engagedNonWorkloadPenalty += c.dt * (1 - pol.PerfFactor)
+			}
+		}
+
+		// Advance the thermal state.
+		if err := se.StepBlockPower(temps, blockPower, c.dt); err != nil {
+			return m, err
+		}
+	}
+	m.Engagements = ctrl.Engagements()
+	finalC := model.NewResult(temps).BlocksC()
+	m.FinalHotC = finalC[0]
+	for _, v := range finalC {
+		if v > m.FinalHotC {
+			m.FinalHotC = v
+		}
+	}
+	// The loop samples temperatures before each step, so the state after the
+	// last step is otherwise unseen: fold it into the true peak (violation
+	// time is a per-step integral and stays as accumulated — the final state
+	// has no remaining duration).
+	if m.FinalHotC > m.PeakC {
+		m.PeakC = m.FinalHotC
+	}
+	m.DutyCycle = m.EngagedS / m.DurationS
+
+	// Performance penalty: instruction-measured over workload time,
+	// engagement-fraction over the rest, blended by time share.
+	var instrLoss float64
+	if c.nominalCommitted > 0 {
+		instrLoss = 1 - float64(m.Committed)/float64(c.nominalCommitted)
+		if instrLoss < 0 {
+			instrLoss = 0
+		}
+	}
+	workloadTime := float64(c.workloadSteps) * c.dt
+	m.PerfPenalty = (instrLoss*workloadTime + engagedNonWorkloadPenalty) / m.DurationS
+
+	if m.ViolationS > 0 {
+		m.ViolationCoverage = m.CoveredViolationS / m.ViolationS
+	} else {
+		m.ViolationCoverage = 1
+	}
+	return m, nil
+}

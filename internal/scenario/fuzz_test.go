@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// FuzzParseSpec feeds arbitrary bytes through the strict spec decoder. The
+// invariants: never panic, reject with a *SpecError (never a bare decode
+// error type leaking through), and any spec that survives ParseSpec carries
+// only finite positive control parameters — the engine relies on Validate
+// having run.
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(`{
+		"name": "ok", "interval": 1e-3, "emergency_c": 80, "initial_steady": true,
+		"phases": [{"duration": 0.02, "pulse": {"block": "IntReg", "peak_w": 3, "on_s": 5e-3, "off_s": 5e-3}}],
+		"sensors": [{"block": "IntReg", "offset_c": -1}],
+		"packages": [{"kind": "air-sink", "rconv": 1.0}, {"label": "oil", "kind": "oil-silicon"}],
+		"policies": {"trigger_c": [60, 65], "engage_s": [5e-3], "actuators": ["fetch-gate", "dvfs"]}
+	}`))
+	f.Add([]byte(`{"phases": [], "packages": [], "policies": {"trigger_c": []}}`))
+	f.Add([]byte(`{"emergency_c": 1e999}`))
+	f.Add([]byte(`{"emergency_c": 80, "phases": [{"duration": 0}]}`))
+	f.Add([]byte(`{"emergency_c": 80, "phases": [{"duration": 1, "workload": "gcc", "pulse": {"block": "x"}}]}`))
+	f.Add([]byte(`{"emergency_c": 80, "phases": [{"duration": 1, "trace": {"names": ["A"], "interval": 1e-3, "rows": [[-5]]}}]}`))
+	f.Add([]byte(`{"bogus": true}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{} {}`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(bytes.NewReader(data))
+		if err != nil {
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("rejection is not a *SpecError: %T: %v", err, err)
+			}
+			return
+		}
+		if !(s.EmergencyC > 0) || math.IsInf(s.EmergencyC, 0) {
+			t.Fatalf("accepted invalid emergency threshold %g", s.EmergencyC)
+		}
+		if len(s.Phases) == 0 || len(s.Packages) == 0 || len(s.Policies.TriggerC) == 0 {
+			t.Fatal("accepted a spec with empty phases/packages/triggers")
+		}
+		for _, p := range s.Phases {
+			if !(p.Duration > 0) || math.IsInf(p.Duration, 0) {
+				t.Fatalf("accepted invalid phase duration %g", p.Duration)
+			}
+		}
+		for _, v := range s.Policies.TriggerC {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				t.Fatalf("accepted invalid trigger %g", v)
+			}
+		}
+		// A validated spec must survive re-validation (Validate is
+		// idempotent and ParseSpec must not hand back unvalidated state).
+		if err := s.Validate(); err != nil {
+			t.Fatalf("parsed spec fails re-validation: %v", err)
+		}
+	})
+}

@@ -1,19 +1,25 @@
 // Package service exposes the thermal simulation stack as a long-lived
-// HTTP/JSON server. The expensive artifact — a compiled hotspot.Model
+// HTTP/JSON server — the serving layer the paper's inherently many-scenario
+// workflow (§5: one die re-run across traces, sensor placements, DTM
+// policies and camera configurations) calls for; DESIGN.md §5 records the
+// architecture. The expensive artifact — a compiled hotspot.Model
 // (floorplan geometry → RC network → factorized/preconditioned operator) —
 // is amortized across requests by a single-flight LRU cache keyed on the
 // model configuration's canonical fingerprint; power traces stream through
 // internal/trace decoders so transients start before the full trace has
 // arrived and memory stays O(one row).
 //
-// Endpoints (all under the handler returned by Server.Handler):
+// Endpoints (all under the handler returned by Server.Handler; docs/api.md
+// is the full request/response reference):
 //
-//	GET  /healthz      liveness
-//	GET  /v1/stats     cache/queue/latency counters
-//	POST /v1/steady    steady-state temperatures for a power map
-//	POST /v1/transient trace-driven transient (inline JSON or streamed body)
-//	POST /v1/sweep     batched steady/transient scenarios
-//	POST /v1/invert    IR-camera style power inversion from observed temps
+//	GET  /healthz             liveness
+//	GET  /v1/stats            cache/queue/latency counters
+//	POST /v1/steady           steady-state temperatures for a power map
+//	POST /v1/transient        trace-driven transient (inline JSON or streamed body)
+//	POST /v1/sweep            batched steady/transient scenarios
+//	POST /v1/invert           IR-camera style power inversion from observed temps
+//	POST /v1/scenario         closed-loop DTM policy-grid sweep (buffered)
+//	POST /v1/scenario/stream  same grid, NDJSON rows as cells finish
 package service
 
 import (

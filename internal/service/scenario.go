@@ -1,0 +1,251 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/hotspot"
+	"repro/internal/scenario"
+)
+
+// ScenarioRequest wraps a declarative closed-loop scenario spec
+// (scenario.Spec, decoded with the same strictness as the rest of the spec
+// layer) with the service-level knobs shared by the other endpoints.
+type ScenarioRequest struct {
+	// Spec is the scenario spec object; see internal/scenario and
+	// docs/api.md for the schema.
+	Spec json.RawMessage `json:"spec"`
+	// Workers bounds grid parallelism (0 = GOMAXPROCS).
+	Workers   int `json:"workers,omitempty"`
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// ScenarioPolicyJSON names one grid cell's DTM policy.
+type ScenarioPolicyJSON struct {
+	TriggerC   float64 `json:"trigger_c"`
+	EngageS    float64 `json:"engage_s"`
+	SampleS    float64 `json:"sample_s"`
+	PerfFactor float64 `json:"perf_factor"`
+	Actuator   string  `json:"actuator"`
+}
+
+// ScenarioCellJSON is one finished grid cell. In the streaming endpoint it
+// is one NDJSON row.
+type ScenarioCellJSON struct {
+	Cell    int                `json:"cell"`
+	Package string             `json:"package"`
+	Policy  ScenarioPolicyJSON `json:"policy"`
+	Metrics *scenario.Metrics  `json:"metrics,omitempty"`
+	Error   string             `json:"error,omitempty"`
+}
+
+// ScenarioHeaderJSON is the first NDJSON row of a streamed scenario: the
+// grid shape, sent before any cell finishes.
+type ScenarioHeaderJSON struct {
+	Name      string  `json:"name,omitempty"`
+	Cells     int     `json:"cells"`
+	Steps     int     `json:"steps"`
+	IntervalS float64 `json:"interval_s"`
+	Cache     string  `json:"cache"`
+}
+
+// ScenarioResponse is the buffered /v1/scenario reply.
+type ScenarioResponse struct {
+	Name      string             `json:"name,omitempty"`
+	Cells     []ScenarioCellJSON `json:"cells"`
+	Steps     int                `json:"steps"`
+	IntervalS float64            `json:"interval_s"`
+	Cache     string             `json:"cache"` // "hit" iff every package model came from cache
+	SolveMS   float64            `json:"solve_ms"`
+}
+
+// ScenarioTrailerJSON is the last NDJSON row of a streamed scenario.
+type ScenarioTrailerJSON struct {
+	Done    bool    `json:"done"`
+	SolveMS float64 `json:"solve_ms"`
+}
+
+func cellJSON(r scenario.CellResult) ScenarioCellJSON {
+	out := ScenarioCellJSON{
+		Cell:    r.Cell.Index,
+		Package: r.Cell.Package,
+		Policy: ScenarioPolicyJSON{
+			TriggerC:   r.Cell.Policy.TriggerC,
+			EngageS:    r.Cell.Policy.EngageDuration,
+			SampleS:    r.Cell.Policy.SampleInterval,
+			PerfFactor: r.Cell.Policy.PerfFactor,
+			Actuator:   r.Cell.Policy.Actuator.String(),
+		},
+	}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+	} else {
+		m := r.Metrics
+		out.Metrics = &m
+	}
+	return out
+}
+
+// compileScenario decodes and compiles a scenario request, resolving its
+// package models through the single-flight compiled-model cache (the same
+// fingerprint keying every other endpoint uses). ctx bounds the compile
+// itself (nominal prepass, model builds, initial steady solves) so a
+// deadline cannot pin the serving slot. The returned cache state is "hit"
+// iff no package needed a compile.
+func (s *Server) compileScenario(ctx context.Context, req ScenarioRequest) (*scenario.Compiled, string, error) {
+	if len(req.Spec) == 0 {
+		return nil, "", fmt.Errorf("missing spec")
+	}
+	spec, err := scenario.ParseSpec(bytes.NewReader(req.Spec))
+	if err != nil {
+		return nil, "", err
+	}
+	misses := 0
+	compiled, err := scenario.Compile(spec, scenario.Options{
+		Ctx: ctx,
+		Models: func(cfg hotspot.Config) (*hotspot.Model, error) {
+			cm, hit, err := s.cache.Get(cfg.Fingerprint(), func() (*hotspot.Model, error) {
+				return hotspot.New(cfg)
+			})
+			if err != nil {
+				return nil, err
+			}
+			if !hit {
+				misses++
+			}
+			return cm.Model, nil
+		},
+	})
+	state := "hit"
+	if misses > 0 {
+		state = "miss"
+	}
+	return compiled, state, err
+}
+
+func decodeScenarioRequest(r *http.Request) (ScenarioRequest, error) {
+	var req ScenarioRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return req, fmt.Errorf("decode request: %w", err)
+	}
+	return req, nil
+}
+
+// handleScenario runs a closed-loop DTM scenario grid and replies with every
+// cell in one buffered JSON object (cells in deterministic grid order).
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	s.metrics.countRequest("scenario")
+	req, err := decodeScenarioRequest(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.deadline(r, req.TimeoutMS)
+	defer cancel()
+	release, code, err := s.acquire(ctx)
+	if err != nil {
+		s.fail(w, code, err)
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	compiled, cacheState, err := s.compileScenario(ctx, req)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.metrics.deadlineExceeded.Add(1)
+			s.fail(w, http.StatusGatewayTimeout, err)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	results := compiled.RunGrid(ctx, req.Workers, nil)
+	solveMS := float64(time.Since(start)) / float64(time.Millisecond)
+	s.metrics.solveLatency.add(solveMS)
+	if ctx.Err() != nil {
+		s.metrics.deadlineExceeded.Add(1)
+		s.fail(w, http.StatusGatewayTimeout, fmt.Errorf("deadline exceeded mid-grid: %w", ctx.Err()))
+		return
+	}
+	resp := ScenarioResponse{
+		Name:      compiled.Name(),
+		Steps:     compiled.Steps(),
+		IntervalS: compiled.Interval(),
+		Cache:     cacheState,
+		SolveMS:   solveMS,
+	}
+	for _, cr := range results {
+		resp.Cells = append(resp.Cells, cellJSON(cr))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleScenarioStream runs the same grid but streams NDJSON: one header
+// row, then one row per cell as it finishes (completion order — the "cell"
+// index identifies the grid position), then a trailer. The connection
+// returns 200 before any cell completes; a deadline hit mid-grid surfaces as
+// error rows on the remaining cells rather than a 504 status.
+func (s *Server) handleScenarioStream(w http.ResponseWriter, r *http.Request) {
+	s.metrics.countRequest("scenario_stream")
+	req, err := decodeScenarioRequest(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.deadline(r, req.TimeoutMS)
+	defer cancel()
+	release, code, err := s.acquire(ctx)
+	if err != nil {
+		s.fail(w, code, err)
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	compiled, cacheState, err := s.compileScenario(ctx, req)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.metrics.deadlineExceeded.Add(1)
+			s.fail(w, http.StatusGatewayTimeout, err)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(v any) {
+		_ = enc.Encode(v) // Encode appends the newline NDJSON needs
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	emit(ScenarioHeaderJSON{
+		Name:      compiled.Name(),
+		Cells:     len(compiled.Cells()),
+		Steps:     compiled.Steps(),
+		IntervalS: compiled.Interval(),
+		Cache:     cacheState,
+	})
+	timedOut := false
+	compiled.RunGrid(ctx, req.Workers, func(cr scenario.CellResult) {
+		if cr.Err != nil && ctx.Err() != nil {
+			timedOut = true
+		}
+		emit(cellJSON(cr))
+	})
+	solveMS := float64(time.Since(start)) / float64(time.Millisecond)
+	s.metrics.solveLatency.add(solveMS)
+	if timedOut {
+		s.metrics.deadlineExceeded.Add(1)
+	}
+	emit(ScenarioTrailerJSON{Done: true, SolveMS: solveMS})
+}

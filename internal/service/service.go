@@ -71,6 +71,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/transient", s.handleTransient)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/invert", s.handleInvert)
+	s.mux.HandleFunc("POST /v1/scenario", s.handleScenario)
+	s.mux.HandleFunc("POST /v1/scenario/stream", s.handleScenarioStream)
+	// Unversioned aliases for the scenario endpoints.
+	s.mux.HandleFunc("POST /scenario", s.handleScenario)
+	s.mux.HandleFunc("POST /scenario/stream", s.handleScenarioStream)
 	return s
 }
 

@@ -1,9 +1,11 @@
 // Package trace holds per-block power traces: a sequence of power vectors
 // sampled at a fixed interval, as consumed by trace-driven thermal
-// simulation. It reads and writes the HotSpot ".ptrace" interchange format
-// (a header of block names followed by whitespace-separated rows) and
-// provides the synthetic step and pulse-train builders used by the paper's
-// controlled experiments (Figs. 6, 8, 9).
+// simulation (the paper's §5 co-simulation inputs). It reads and writes the
+// HotSpot ".ptrace" interchange format (a header of block names followed by
+// whitespace-separated rows), decodes untrusted ptrace/CSV/NDJSON streams
+// incrementally (DESIGN.md §5.2), and provides the synthetic step and
+// pulse-train builders used by the paper's controlled experiments
+// (Figs. 6, 8, 9).
 package trace
 
 import (

@@ -1,11 +1,15 @@
-// Package uarch is the repository's stand-in for SimpleScalar: a
+// Package uarch is the repository's stand-in for SimpleScalar, the
+// architectural simulator of the paper's §5 experimental setup ("an EV6-like
+// out-of-order core simulated with SimpleScalar/Wattch", Figs. 10 and 12): a
 // trace-synthesizing out-of-order processor timing model. It generates a
 // synthetic instruction stream with phase behaviour (gcc-, mcf- and art-like
 // presets), runs it through branch prediction, a two-level cache hierarchy
 // and a dataflow pipeline model, and emits per-interval activity counts for
 // every microarchitectural unit of the EV6 floorplan. Package power converts
 // those counts into the per-block power traces consumed by the thermal
-// model.
+// model; the closed-loop scenario engine (internal/scenario) steps a CPU
+// instance per DTM grid cell so throttling feeds back into the stream's
+// timing.
 //
 // The timing model is deliberately at the "interval simulation" altitude:
 // per-instruction dataflow with functional-unit contention and in-order

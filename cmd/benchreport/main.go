@@ -1,0 +1,204 @@
+// Command benchreport converts `go test -bench` output into the schema'd
+// benchmark-trajectory JSON checked in as BENCH_solver.json. It reads the
+// raw benchmark text from stdin, parses every benchmark line (ns/op, B/op,
+// allocs/op and custom b.ReportMetric units), stamps the run environment,
+// and — when given a previous report — embeds that run as the baseline and
+// computes per-benchmark speedups, so successive reports form a performance
+// trajectory across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | \
+//	    go run ./cmd/benchreport -commit $(git rev-parse --short HEAD) \
+//	        -prev BENCH_solver.json -out BENCH_solver.json
+//
+// The previous report is read fully before the output file is opened, so
+// reading and writing the same path is safe. scripts/bench.sh wraps the
+// whole pipeline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline is the previous run this report compares against.
+type Baseline struct {
+	Commit  string             `json:"commit"`
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// Report is the BENCH_*.json schema.
+type Report struct {
+	Schema     string      `json:"schema"`
+	Commit     string      `json:"commit"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Baseline holds the previous report's numbers; Speedup maps benchmark
+	// name to baseline_ns / current_ns (>1 = faster now) for benchmarks
+	// present in both runs.
+	Baseline *Baseline          `json:"baseline,omitempty"`
+	Speedup  map[string]float64 `json:"speedup,omitempty"`
+}
+
+func main() {
+	commit := flag.String("commit", "unknown", "commit hash to stamp the report with")
+	prevPath := flag.String("prev", "", "previous report to embed as the baseline (may equal -out)")
+	outPath := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	var prev *Report
+	if *prevPath != "" {
+		raw, err := os.ReadFile(*prevPath)
+		if err == nil {
+			prev = &Report{}
+			if err := json.Unmarshal(raw, prev); err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: previous report %s: %v (ignoring)\n", *prevPath, err)
+				prev = nil
+			}
+		}
+	}
+
+	rep := &Report{
+		Schema:     "repro-bench/1",
+		Commit:     *commit,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if err := parseBench(rep, bufio.NewScanner(os.Stdin)); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchreport: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	if prev != nil {
+		rep.Baseline = &Baseline{Commit: prev.Commit, NsPerOp: make(map[string]float64)}
+		for _, b := range prev.Benchmarks {
+			rep.Baseline.NsPerOp[b.Name] = b.NsPerOp
+		}
+		rep.Speedup = make(map[string]float64)
+		for _, b := range rep.Benchmarks {
+			if old, ok := rep.Baseline.NsPerOp[b.Name]; ok && b.NsPerOp > 0 {
+				rep.Speedup[b.Name] = round3(old / b.NsPerOp)
+			}
+		}
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench consumes `go test -bench` text: "pkg:" context lines, "cpu:"
+// lines, and benchmark result lines of the form
+//
+//	BenchmarkName-8   20   2120 ns/op   610 B/op   0 allocs/op   2732 scenarios/s
+func parseBench(rep *Report, sc *bufio.Scanner) error {
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: trimProcSuffix(fields[0]), Pkg: pkg, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool {
+		if rep.Benchmarks[i].Pkg != rep.Benchmarks[j].Pkg {
+			return rep.Benchmarks[i].Pkg < rep.Benchmarks[j].Pkg
+		}
+		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
+	})
+	return nil
+}
+
+// trimProcSuffix strips the -GOMAXPROCS suffix go test appends to benchmark
+// names ("BenchmarkFoo/bar-8" → "BenchmarkFoo/bar"), keeping names stable
+// across machines.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func round3(x float64) float64 { return float64(int64(x*1000+0.5)) / 1000 }

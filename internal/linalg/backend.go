@@ -58,11 +58,27 @@ type Backend interface {
 	Assemble(n int, entries []Coord) (Operator, error)
 }
 
-// Workspace holds per-goroutine scratch vectors for iterative solves. The
-// zero value is ready to use; vectors grow on demand and are reused across
-// calls, so a long transient performs no per-step allocation.
+// Workspace holds per-goroutine scratch vectors for solves. The zero value
+// is ready to use; vectors grow on demand and are reused across calls, so a
+// long transient performs no per-step allocation.
 type Workspace struct {
 	r, z, p, ap, inv []float64
+	y                []float64 // direct-solve scratch (Cholesky permuted solve)
+
+	// LastIterations reports the iteration count of the most recent Solve
+	// through this workspace: CG iterations for the iterative backend, 0 for
+	// the direct ones. Callers use it for per-path solver statistics; the
+	// workspace is per-goroutine, so the read is race-free.
+	LastIterations int
+}
+
+// direct returns the length-n direct-solve scratch vector, growing it if
+// needed.
+func (w *Workspace) direct(n int) []float64 {
+	if cap(w.y) < n {
+		w.y = make([]float64, n)
+	}
+	return w.y[:n]
 }
 
 // vectors returns the five length-n scratch vectors, growing them if needed.
@@ -132,13 +148,19 @@ func (d *denseOperator) Apply(x, dst []float64) {
 	}
 }
 
-func (d *denseOperator) Solve(b, _, dst []float64, _ *Workspace) ([]float64, error) {
-	x := d.lu.Solve(b)
-	if dst != nil {
-		copy(dst, x)
+func (d *denseOperator) Solve(b, _, dst []float64, ws *Workspace) ([]float64, error) {
+	if ws != nil {
+		ws.LastIterations = 0
+	}
+	if dst == nil {
+		dst = make([]float64, d.a.Rows)
+	}
+	if &dst[0] == &b[0] {
+		copy(dst, d.lu.Solve(b))
 		return dst, nil
 	}
-	return x, nil
+	d.lu.SolveInto(dst, b)
+	return dst, nil
 }
 
 func (d *denseOperator) Shift(diag []float64) (Operator, error) {
@@ -323,6 +345,7 @@ func solveCGWS(a *CSR, b, x0, x []float64, opt CGOptions, ws *Workspace) CGResul
 	if bnorm == 0 {
 		bnorm = 1
 	}
+	ws.LastIterations = 0
 	if rn := Norm2(r) / bnorm; rn < opt.Tol {
 		return CGResult{Iterations: 0, Residual: rn, Converged: true}
 	}
@@ -346,6 +369,7 @@ func solveCGWS(a *CSR, b, x0, x []float64, opt CGOptions, ws *Workspace) CGResul
 		rn := Norm2(r) / bnorm
 		res.Iterations = it + 1
 		res.Residual = rn
+		ws.LastIterations = res.Iterations
 		if rn < opt.Tol {
 			res.Converged = true
 			return res

@@ -1,0 +1,534 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// This file implements the sparse direct solver backend: a fill-reducing
+// ordering (reverse Cuthill-McKee), symbolic analysis (elimination tree and
+// exact column counts), an up-looking LDLᵀ factorization on the permuted
+// matrix, and permuted forward/diagonal/backward triangular solves. See
+// DESIGN.md §7.
+//
+// The split between symbolic and numeric phases is the load-bearing design
+// decision: the symbolic analysis depends only on the off-diagonal sparsity
+// pattern, so a backward-Euler operator (C/dt + A) derived via Shift — which
+// touches only the diagonal — reuses the ordering, elimination tree and
+// column pointers of the conductance operator and pays for a numeric
+// refactorization alone. A long transient then costs one numeric factor per
+// distinct dt plus two triangular sweeps per step.
+
+// ErrNotSPD is returned (wrapped) when an LDLᵀ factorization meets a
+// non-positive pivot: the matrix is not positive definite, or is numerically
+// singular. Callers that auto-select a backend fall back to an iterative or
+// dense path on this error.
+var ErrNotSPD = errors.New("linalg: matrix is not symmetric positive definite")
+
+// ErrCholeskyFill is returned (wrapped) by CholeskyBackend.Assemble when the
+// predicted factor fill exceeds the configured cap. The assembly aborts
+// before any numeric work, so an auto-selecting caller can fall back to the
+// iterative backend at the cost of the symbolic analysis only.
+var ErrCholeskyFill = errors.New("linalg: Cholesky factor fill exceeds cap")
+
+// ErrNotSymmetric is returned (wrapped) when the Cholesky backend is handed
+// a structurally or numerically asymmetric matrix.
+var ErrNotSymmetric = errors.New("linalg: matrix is not symmetric")
+
+// CholeskyBackend assembles sparse direct LDLᵀ-factored operators with a
+// reverse Cuthill-McKee fill-reducing ordering. Factorization happens
+// eagerly, so non-SPD and singular systems are reported at Assemble. The
+// zero value applies no fill cap.
+type CholeskyBackend struct {
+	// MaxFillRatio, when positive, aborts Assemble with ErrCholeskyFill if
+	// nnz(L+D+Lᵀ) exceeds MaxFillRatio × nnz(A). Auto-selecting callers use
+	// it to bound the memory and per-solve cost before committing.
+	MaxFillRatio float64
+}
+
+// Name implements Backend.
+func (CholeskyBackend) Name() string { return "cholesky" }
+
+// Assemble implements Backend.
+func (cb CholeskyBackend) Assemble(n int, entries []Coord) (Operator, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("linalg: cholesky assemble with n=%d", n)
+	}
+	for _, e := range entries {
+		if e.I < 0 || e.I >= n || e.J < 0 || e.J >= n {
+			return nil, fmt.Errorf("linalg: entry (%d,%d) out of range for n=%d", e.I, e.J, n)
+		}
+	}
+	return NewCholeskyOperator(NewCSR(n, entries), cb.MaxFillRatio)
+}
+
+// NewCholeskyOperator orders, analyzes and factors an existing CSR matrix
+// (which must be symmetric and must not be mutated afterwards). maxFillRatio
+// follows the CholeskyBackend.MaxFillRatio contract; pass 0 for no cap.
+func NewCholeskyOperator(m *CSR, maxFillRatio float64) (*CholeskyOperator, error) {
+	if err := checkSymmetric(m); err != nil {
+		return nil, err
+	}
+	sym := analyzeCholesky(m)
+	if maxFillRatio > 0 {
+		if fill := sym.FillRatio(m); fill > maxFillRatio {
+			return nil, fmt.Errorf("%w: predicted fill %.1f× exceeds cap %.1f× (nnz(L)=%d)",
+				ErrCholeskyFill, fill, maxFillRatio, sym.nnzL)
+		}
+	}
+	f, err := factorLDL(m, sym)
+	if err != nil {
+		return nil, err
+	}
+	return &CholeskyOperator{m: m, sym: sym, f: f}, nil
+}
+
+// checkSymmetric verifies exact structural and numeric symmetry. Rows of a
+// CSR from NewCSR are sorted by column, so each upper-triangle entry is
+// matched against its transpose by binary search: O(nnz·log(row len)).
+func checkSymmetric(m *CSR) error {
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.ColIdx[k]
+			if j <= i {
+				continue
+			}
+			lo, hi := m.RowPtr[j], m.RowPtr[j+1]
+			p := lo + sort.SearchInts(m.ColIdx[lo:hi], i)
+			if p >= hi || m.ColIdx[p] != i || m.Values[p] != m.Values[k] {
+				return fmt.Errorf("%w: entry (%d,%d) has no equal transpose", ErrNotSymmetric, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// cholSymbolic is the reusable symbolic analysis of one sparsity pattern:
+// the fill-reducing permutation, the elimination tree of the permuted
+// matrix, and the factor's column pointers. It is immutable once built and
+// shared by every numeric factorization of a matrix with the same
+// off-diagonal pattern (the conductance operator and all its backward-Euler
+// shifts).
+type cholSymbolic struct {
+	n      int
+	perm   []int // perm[k] = original index of the k-th pivot
+	iperm  []int // inverse: iperm[perm[k]] = k
+	parent []int // elimination tree of P·A·Pᵀ
+	colPtr []int // factor column pointers, len n+1 (strictly-lower entries)
+	nnzL   int   // total strictly-lower entries in L
+}
+
+// NNZL returns the number of strictly-lower-triangular entries in the
+// factor.
+func (s *cholSymbolic) NNZL() int { return s.nnzL }
+
+// FillRatio reports nnz(L+D+Lᵀ) / nnz(A): 1.0 means no fill at all.
+func (s *cholSymbolic) FillRatio(m *CSR) float64 {
+	return float64(2*s.nnzL+s.n) / float64(max(m.NNZ(), 1))
+}
+
+// mdMaxN bounds the minimum-degree ordering: its dense-bitset adjacency
+// costs n²/8 bytes and an O(n²) pivot scan, both fine to ~4k unknowns and
+// ruinous at reference-grid scale. Larger systems order with RCM (linear
+// memory), though in this repository those run on the CG backend anyway.
+const mdMaxN = 4096
+
+// fillOrder picks the fill-reducing ordering: greedy minimum degree where
+// the quadratic bookkeeping is affordable (it roughly halves the factor
+// size of floorplan networks versus RCM — measured in DESIGN.md §7.2), RCM
+// beyond.
+func fillOrder(m *CSR) []int {
+	if m.N <= mdMaxN {
+		return mdOrder(m)
+	}
+	return rcmOrder(m)
+}
+
+// analyzeCholesky runs the symbolic phase: fill-reducing ordering,
+// elimination tree and exact per-column counts of the factor (the classic
+// refinement walk: for every strictly-upper entry of permuted column k,
+// climb the tree until reaching a node already marked this step).
+func analyzeCholesky(m *CSR) *cholSymbolic {
+	n := m.N
+	perm := fillOrder(m)
+	iperm := make([]int, n)
+	for k, p := range perm {
+		iperm[p] = k
+	}
+	parent := make([]int, n)
+	flag := make([]int, n)
+	counts := make([]int, n)
+	for i := range flag {
+		flag[i] = -1
+	}
+	for k := 0; k < n; k++ {
+		parent[k] = -1
+		flag[k] = k
+		row := perm[k]
+		for p := m.RowPtr[row]; p < m.RowPtr[row+1]; p++ {
+			i := iperm[m.ColIdx[p]]
+			for ; i < k && flag[i] != k; i = parent[i] {
+				if parent[i] == -1 {
+					parent[i] = k
+				}
+				counts[i]++
+				flag[i] = k
+			}
+		}
+	}
+	colPtr := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		colPtr[i+1] = colPtr[i] + counts[i]
+	}
+	return &cholSymbolic{n: n, perm: perm, iperm: iperm, parent: parent, colPtr: colPtr, nnzL: colPtr[n]}
+}
+
+// cholFactor is one numeric LDLᵀ factorization over a shared symbolic
+// analysis. L is unit-lower-triangular, stored by columns (strictly-lower
+// entries only); invD is the inverted diagonal of D.
+type cholFactor struct {
+	rowIdx []int
+	values []float64
+	invD   []float64
+}
+
+// factorLDL runs the up-looking numeric phase on the permuted matrix: row k
+// of L is the solution of a sparse triangular system whose pattern is read
+// off the elimination tree. Rejects non-positive pivots (not SPD, or
+// numerically singular).
+func factorLDL(m *CSR, sym *cholSymbolic) (*cholFactor, error) {
+	n := sym.n
+	f := &cholFactor{
+		rowIdx: make([]int, sym.nnzL),
+		values: make([]float64, sym.nnzL),
+		invD:   make([]float64, n),
+	}
+	y := make([]float64, n)   // dense accumulator for row k
+	flag := make([]int, n)    // step marker
+	pattern := make([]int, n) // tree path scratch
+	stack := make([]int, n)   // row pattern in topological order
+	lnz := make([]int, n)     // entries placed so far per column
+	d := make([]float64, n)   // pivots of D
+	for i := range flag {
+		flag[i] = -1
+	}
+	for k := 0; k < n; k++ {
+		top := n
+		flag[k] = k
+		row := sym.perm[k]
+		for p := m.RowPtr[row]; p < m.RowPtr[row+1]; p++ {
+			i := sym.iperm[m.ColIdx[p]]
+			if i > k {
+				continue // lower triangle of the permuted matrix: symmetric twin covers it
+			}
+			y[i] += m.Values[p]
+			ln := 0
+			for ; flag[i] != k; i = sym.parent[i] {
+				pattern[ln] = i
+				ln++
+				flag[i] = k
+			}
+			for ln > 0 {
+				ln--
+				top--
+				stack[top] = pattern[ln]
+			}
+		}
+		dk := y[k]
+		y[k] = 0
+		for s := top; s < n; s++ {
+			i := stack[s]
+			yi := y[i]
+			y[i] = 0
+			p2 := sym.colPtr[i] + lnz[i]
+			for p := sym.colPtr[i]; p < p2; p++ {
+				y[f.rowIdx[p]] -= f.values[p] * yi
+			}
+			lki := yi / d[i]
+			dk -= lki * yi
+			f.rowIdx[p2] = k
+			f.values[p2] = lki
+			lnz[i]++
+		}
+		if dk <= 0 {
+			return nil, fmt.Errorf("%w: pivot %d (node %d) is %g", ErrNotSPD, k, sym.perm[k], dk)
+		}
+		d[k] = dk
+		f.invD[k] = 1 / dk
+	}
+	return f, nil
+}
+
+// CholeskyOperator is a sparse direct LDLᵀ-factored Operator. Immutable
+// after construction and safe for concurrent solves (per-goroutine scratch
+// comes from the Workspace).
+type CholeskyOperator struct {
+	m   *CSR
+	sym *cholSymbolic
+	f   *cholFactor
+}
+
+// Matrix exposes the underlying CSR (read-only).
+func (c *CholeskyOperator) Matrix() *CSR { return c.m }
+
+// NNZL returns the strictly-lower-triangular entry count of the factor.
+func (c *CholeskyOperator) NNZL() int { return c.sym.nnzL }
+
+// FillRatio reports nnz(L+D+Lᵀ) / nnz(A) for the factorization.
+func (c *CholeskyOperator) FillRatio() float64 { return c.sym.FillRatio(c.m) }
+
+// Dim implements Operator.
+func (c *CholeskyOperator) Dim() int { return c.m.N }
+
+// Apply implements Operator.
+func (c *CholeskyOperator) Apply(x, dst []float64) {
+	if len(dst) != c.m.N {
+		panic("linalg: cholesky Apply dimension mismatch")
+	}
+	c.m.MulVec(x, dst)
+}
+
+// Solve implements Operator: permute, forward-substitute through L, scale by
+// D⁻¹, back-substitute through Lᵀ, permute back. Exact (direct), so the warm
+// start is ignored. Allocation-free when both dst and ws are provided; dst
+// may alias b.
+func (c *CholeskyOperator) Solve(b, _, dst []float64, ws *Workspace) ([]float64, error) {
+	n := c.m.N
+	if len(b) != n {
+		panic("linalg: cholesky Solve dimension mismatch")
+	}
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	if dst == nil {
+		dst = make([]float64, n)
+	}
+	ws.LastIterations = 0
+	y := ws.direct(n)
+	perm := c.sym.perm
+	colPtr := c.sym.colPtr
+	rowIdx, values, invD := c.f.rowIdx, c.f.values, c.f.invD
+	for k, p := range perm {
+		y[k] = b[p]
+	}
+	for j := 0; j < n; j++ {
+		yj := y[j]
+		if yj == 0 {
+			continue
+		}
+		for p := colPtr[j]; p < colPtr[j+1]; p++ {
+			y[rowIdx[p]] -= values[p] * yj
+		}
+	}
+	// Backward sweep with the D⁻¹ scale fused in: by the time column j is
+	// processed, every y[rowIdx[p]] (rowIdx > j) is already a final x entry.
+	for j := n - 1; j >= 0; j-- {
+		s := y[j] * invD[j]
+		for p := colPtr[j]; p < colPtr[j+1]; p++ {
+			s -= values[p] * y[rowIdx[p]]
+		}
+		y[j] = s
+	}
+	for k, p := range perm {
+		dst[p] = y[k]
+	}
+	return dst, nil
+}
+
+// Shift implements Operator. The shift touches only the diagonal, so the
+// returned operator reuses the receiver's symbolic analysis (ordering,
+// elimination tree, column pointers) and pays for a numeric refactorization
+// only. This is the factor-cache contract backward-Euler stepping relies on.
+func (c *CholeskyOperator) Shift(diag []float64) (Operator, error) {
+	if len(diag) != c.m.N {
+		return nil, fmt.Errorf("linalg: Shift dimension mismatch %d vs %d", c.m.N, len(diag))
+	}
+	m2 := c.m.Shifted(diag)
+	f, err := factorLDL(m2, c.sym)
+	if err != nil {
+		return nil, err
+	}
+	return &CholeskyOperator{m: m2, sym: c.sym, f: f}, nil
+}
+
+// Diag implements Operator.
+func (c *CholeskyOperator) Diag() []float64 { return c.m.Diagonal() }
+
+// Iterative implements Operator: the solve is direct.
+func (c *CholeskyOperator) Iterative() bool { return false }
+
+// --- greedy minimum-degree ordering ---
+
+// mdOrder returns a greedy minimum-degree permutation: repeatedly eliminate
+// the lowest-degree node (ties broken on index, so the ordering is
+// deterministic) and connect its surviving neighbours into a clique —
+// exactly the fill the factorization would create, so the pivot choice
+// tracks true degrees. The elimination graph lives in dense bitsets: row
+// updates are word-parallel ORs and degrees are masked popcounts, which
+// keeps the quadratic-ish bookkeeping cheap at the network sizes the direct
+// backend serves.
+func mdOrder(m *CSR) []int {
+	n := m.N
+	w := (n + 63) / 64
+	adj := make([]uint64, n*w)
+	row := func(i int) []uint64 { return adj[i*w : (i+1)*w] }
+	for i := 0; i < n; i++ {
+		ri := row(i)
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if j := m.ColIdx[p]; j != i {
+				ri[j>>6] |= 1 << (uint(j) & 63)
+			}
+		}
+	}
+	alive := make([]uint64, w)
+	for i := 0; i < n; i++ {
+		alive[i>>6] |= 1 << (uint(i) & 63)
+	}
+	deg := make([]int, n)
+	for i := 0; i < n; i++ {
+		deg[i] = popcountAnd(row(i), alive)
+	}
+	perm := make([]int, 0, n)
+	nv := make([]uint64, w)
+	for len(perm) < n {
+		v := -1
+		for i := 0; i < n; i++ {
+			if alive[i>>6]&(1<<(uint(i)&63)) != 0 && (v < 0 || deg[i] < deg[v]) {
+				v = i
+			}
+		}
+		perm = append(perm, v)
+		alive[v>>6] &^= 1 << (uint(v) & 63)
+		rv := row(v)
+		for k := range nv {
+			nv[k] = rv[k] & alive[k]
+		}
+		for k, word := range nv {
+			for word != 0 {
+				a := k<<6 + trailingZeros(word)
+				word &= word - 1
+				ra := row(a)
+				for x := range ra {
+					ra[x] |= nv[x]
+				}
+				ra[a>>6] &^= 1 << (uint(a) & 63)
+				deg[a] = popcountAnd(ra, alive)
+			}
+		}
+	}
+	return perm
+}
+
+// popcountAnd counts the set bits of a&b without materializing it.
+func popcountAnd(a, b []uint64) int {
+	c := 0
+	for i := range a {
+		c += bits.OnesCount64(a[i] & b[i])
+	}
+	return c
+}
+
+func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }
+
+// --- reverse Cuthill-McKee ordering ---
+
+// rcmOrder returns a reverse Cuthill-McKee permutation of the matrix graph:
+// perm[k] is the original index of the k-th pivot. The ordering is a
+// breadth-first numbering from a pseudo-peripheral start, neighbours visited
+// by ascending degree, then reversed — which concentrates the profile of a
+// mesh-like graph near the diagonal and bounds Cholesky fill by the
+// bandwidth. Deterministic: ties break on node index, components are entered
+// in index order.
+func rcmOrder(m *CSR) []int {
+	n := m.N
+	deg := make([]int, n)
+	for i := 0; i < n; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if m.ColIdx[p] != i {
+				deg[i]++
+			}
+		}
+	}
+	perm := make([]int, 0, n)
+	visited := make([]bool, n)
+	level := make([]int, n)
+	scratch := make([]int, 0, 16)
+	for seed := 0; seed < n; seed++ {
+		if visited[seed] {
+			continue
+		}
+		start := pseudoPeripheral(m, seed, deg, level)
+		// Cuthill-McKee BFS from start.
+		from := len(perm)
+		perm = append(perm, start)
+		visited[start] = true
+		for q := from; q < len(perm); q++ {
+			u := perm[q]
+			scratch = scratch[:0]
+			for p := m.RowPtr[u]; p < m.RowPtr[u+1]; p++ {
+				v := m.ColIdx[p]
+				if v != u && !visited[v] {
+					visited[v] = true
+					scratch = append(scratch, v)
+				}
+			}
+			sort.Slice(scratch, func(a, b int) bool {
+				if deg[scratch[a]] != deg[scratch[b]] {
+					return deg[scratch[a]] < deg[scratch[b]]
+				}
+				return scratch[a] < scratch[b]
+			})
+			perm = append(perm, scratch...)
+		}
+	}
+	for l, r := 0, n-1; l < r; l, r = l+1, r-1 {
+		perm[l], perm[r] = perm[r], perm[l]
+	}
+	return perm
+}
+
+// pseudoPeripheral finds a node of near-maximal eccentricity in seed's
+// component by repeated BFS: start anywhere, move to a minimum-degree node
+// of the last level, stop when the eccentricity stops growing.
+func pseudoPeripheral(m *CSR, seed int, deg, level []int) int {
+	start := seed
+	ecc := -1
+	queue := make([]int, 0, 64)
+	for iter := 0; iter < 8; iter++ {
+		queue = queue[:0]
+		queue = append(queue, start)
+		level[start] = 0
+		mark := make(map[int]bool, 64)
+		mark[start] = true
+		last := start
+		for q := 0; q < len(queue); q++ {
+			u := queue[q]
+			last = u
+			for p := m.RowPtr[u]; p < m.RowPtr[u+1]; p++ {
+				v := m.ColIdx[p]
+				if v != u && !mark[v] {
+					mark[v] = true
+					level[v] = level[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		newEcc := level[last]
+		if newEcc <= ecc {
+			break
+		}
+		ecc = newEcc
+		// Minimum-degree node on the deepest level (ties: lowest index, via
+		// BFS order determinism).
+		best := last
+		for _, u := range queue {
+			if level[u] == newEcc && (deg[u] < deg[best] || (deg[u] == deg[best] && u < best)) {
+				best = u
+			}
+		}
+		start = best
+	}
+	return start
+}

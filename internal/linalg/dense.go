@@ -224,11 +224,17 @@ func FactorLU(a *Matrix) (*LU, error) {
 
 // Solve returns x such that A·x = b for the factored A.
 func (f *LU) Solve(b []float64) []float64 {
+	return f.SolveInto(make([]float64, f.lu.Rows), b)
+}
+
+// SolveInto solves A·x = b into the caller-provided x (returned), performing
+// no allocation. x must not alias b: the pivoted gather reads b after x has
+// started being written.
+func (f *LU) SolveInto(x, b []float64) []float64 {
 	n := f.lu.Rows
-	if len(b) != n {
+	if len(b) != n || len(x) != n {
 		panic("linalg: LU.Solve dimension mismatch")
 	}
-	x := make([]float64, n)
 	for i, p := range f.piv {
 		x[i] = b[p]
 	}

@@ -29,12 +29,25 @@ var benchSizes = []struct {
 	{"N=2048", 32, 32},
 }
 
+// benchBackends lists the explicit backends plus "auto" (nil backend =
+// whatever Compile selects — the row that tracks the production path's
+// trajectory across PRs).
 var benchBackends = []struct {
 	name    string
 	backend linalg.Backend
 }{
 	{"dense", linalg.DenseBackend{}},
 	{"sparse", linalg.SparseBackend{}},
+	{"cholesky", linalg.CholeskyBackend{}},
+	{"auto", nil},
+}
+
+// benchCompile compiles onto the row's backend ("auto" = Compile).
+func benchCompile(net *Network, backend linalg.Backend) (*Solver, error) {
+	if backend == nil {
+		return net.Compile()
+	}
+	return net.CompileWith(backend)
 }
 
 func BenchmarkBackendCompile(b *testing.B) {
@@ -43,7 +56,7 @@ func BenchmarkBackendCompile(b *testing.B) {
 		for _, bk := range benchBackends {
 			b.Run(fmt.Sprintf("%s/%s", bk.name, sz.name), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := net.CompileWith(bk.backend); err != nil {
+					if _, err := benchCompile(net, bk.backend); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -65,7 +78,7 @@ func BenchmarkBackendSteadyState(b *testing.B) {
 		for _, bk := range benchBackends {
 			b.Run(fmt.Sprintf("%s/%s", bk.name, sz.name), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					s, err := net.CompileWith(bk.backend)
+					s, err := benchCompile(net, bk.backend)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -85,7 +98,7 @@ func BenchmarkBackendSteadyStateSolveOnly(b *testing.B) {
 		net := gridNetwork(rng, sz.nx, sz.ny)
 		p := randomPower(rng, net.N())
 		for _, bk := range benchBackends {
-			s, err := net.CompileWith(bk.backend)
+			s, err := benchCompile(net, bk.backend)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -106,7 +119,7 @@ func BenchmarkBackendTransientBE(b *testing.B) {
 		net := gridNetwork(rng, sz.nx, sz.ny)
 		p := randomPower(rng, net.N())
 		for _, bk := range benchBackends {
-			s, err := net.CompileWith(bk.backend)
+			s, err := benchCompile(net, bk.backend)
 			if err != nil {
 				b.Fatal(err)
 			}

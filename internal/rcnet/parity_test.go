@@ -151,8 +151,10 @@ func TestBackendParityTrace(t *testing.T) {
 	}
 }
 
-// TestCompileSelectsBackendBySize: the automatic cutoff must route small
-// networks to dense LU and large ones to the sparse path.
+// TestCompileSelectsBackendBySize: the automatic selection must route small
+// networks to dense LU and large floorplan-shaped ones (modest fill) to the
+// sparse direct Cholesky path, with the SolverHint escape hatch forcing any
+// backend.
 func TestCompileSelectsBackendBySize(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	small := gridNetwork(rng, 3, 3) // 18 nodes
@@ -168,8 +170,21 @@ func TestCompileSelectsBackendBySize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s2.Backend() != "sparse" {
-		t.Fatalf("big network compiled onto %q, want sparse", s2.Backend())
+	if s2.Backend() != "cholesky" {
+		t.Fatalf("big network compiled onto %q, want cholesky", s2.Backend())
+	}
+	for hint, want := range map[SolverHint]string{
+		HintDense:    "dense",
+		HintCholesky: "cholesky",
+		HintCG:       "sparse",
+	} {
+		s, err := big.CompileHint(hint)
+		if err != nil {
+			t.Fatalf("hint %v: %v", hint, err)
+		}
+		if s.Backend() != want {
+			t.Fatalf("hint %v compiled onto %q, want %q", hint, s.Backend(), want)
+		}
 	}
 }
 
@@ -189,16 +204,27 @@ func TestFloatingIslandRejectedBothBackends(t *testing.T) {
 }
 
 // TestTransientBatchMatchesSerial: the worker-pool batch must produce
-// bit-for-bit the same samples as serial replays of the same jobs.
+// bit-for-bit the same samples as serial replays of the same jobs, on both
+// the auto-selected (Cholesky) path and the CG path.
 func TestTransientBatchMatchesSerial(t *testing.T) {
+	for _, hint := range []SolverHint{HintAuto, HintCG} {
+		t.Run(hint.String(), func(t *testing.T) { testTransientBatchMatchesSerial(t, hint) })
+	}
+}
+
+func testTransientBatchMatchesSerial(t *testing.T, hint SolverHint) {
 	rng := rand.New(rand.NewSource(9))
 	net := gridNetwork(rng, 6, 6)
-	s, err := net.Compile()
+	s, err := net.CompileHint(hint)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Backend() != "sparse" {
-		t.Fatalf("want the sparse path under batch, got %q", s.Backend())
+	want72 := "cholesky"
+	if hint == HintCG {
+		want72 = "sparse"
+	}
+	if s.Backend() != want72 {
+		t.Fatalf("hint %v: compiled onto %q, want %q", hint, s.Backend(), want72)
 	}
 	const jobs = 6
 	powers := make([][]float64, jobs)

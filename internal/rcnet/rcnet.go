@@ -11,10 +11,13 @@
 package rcnet
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/linalg"
 	"repro/internal/ode"
@@ -139,14 +142,53 @@ func (n *Network) checkIndex(i int) {
 // DenseCutoff is the node count at or below which Compile picks the dense
 // LU backend: tiny networks amortize no sparse bookkeeping, and the dense
 // path doubles as the parity oracle. Above it Compile assembles CSR and
-// solves with Jacobi-preconditioned conjugate gradients.
+// factors with sparse LDLᵀ (falling back to Jacobi-preconditioned conjugate
+// gradients when the predicted factor fill exceeds CholeskyMaxFill).
 const DenseCutoff = 64
 
+// CholeskyMaxFill caps the sparse direct path: Compile falls back to the CG
+// backend when the symbolic analysis predicts nnz(L+D+Lᵀ) beyond this
+// multiple of nnz(A). Floorplan-shaped networks order to ~10-25× under RCM
+// (measured in DESIGN.md §7.2); genuinely 3D grids — the reference solver's
+// territory — blow far past this.
+const CholeskyMaxFill = 40
+
+// SolverHint selects the linear-solver backend at Compile time.
+type SolverHint int
+
+const (
+	// HintAuto picks dense LU for tiny networks, sparse Cholesky (LDLᵀ)
+	// when the predicted fill is acceptable, and CG otherwise. This is what
+	// Compile does.
+	HintAuto SolverHint = iota
+	// HintDense forces the dense LU oracle.
+	HintDense
+	// HintCholesky forces the sparse direct LDLᵀ backend with no fill cap;
+	// non-SPD systems fail Compile.
+	HintCholesky
+	// HintCG forces the Jacobi-preconditioned conjugate-gradient backend.
+	HintCG
+)
+
+// String names the hint for logs.
+func (h SolverHint) String() string {
+	switch h {
+	case HintDense:
+		return "dense"
+	case HintCholesky:
+		return "cholesky"
+	case HintCG:
+		return "cg"
+	default:
+		return "auto"
+	}
+}
+
 // Solver is an assembled network ready for simulation. It holds the
-// conductance system behind a linalg.Operator (dense LU or sparse CG,
-// chosen at Compile) plus a cached backward-Euler operator per step size.
-// Create with Compile; a Solver must not outlive subsequent mutations of
-// its Network.
+// conductance system behind a linalg.Operator (dense LU, sparse direct
+// LDLᵀ, or sparse CG, chosen at Compile) plus a shared cache of
+// backward-Euler operators, one factorization per step size. Create with
+// Compile; a Solver must not outlive subsequent mutations of its Network.
 //
 // SteadyState, DominantTimeConstant and HeatFlowToAmbient are safe to call
 // from any number of goroutines (per-call scratch comes from an internal
@@ -162,17 +204,88 @@ type Solver struct {
 	// sum of all conductances incident to i, off-diagonal (i,j) = -g(i,j).
 	op     linalg.Operator
 	invCap []float64
+	// ambRHS is the constant G_amb·T_amb right-hand-side term, precomputed
+	// so the stepping hot path performs no per-node multiply for it.
+	ambRHS []float64
 	wsPool sync.Pool // *linalg.Workspace scratch for the steady entry points
 
 	// serial is the lazily-created stepping session backing StepBE and
-	// TransientBE (it holds the cached backward-Euler operator per step
-	// size); concurrent replays create their own sessions instead.
+	// TransientBE; concurrent replays create their own sessions instead.
 	serial *session
+
+	// beOps caches backward-Euler operators (C/dt + A) per step size,
+	// shared by every session on this solver: the first session to step at
+	// a given dt factors (single-flight), later sessions — e.g. a service's
+	// whole session pool replaying same-interval traces — reuse the factor
+	// and run solve-only steps. Bounded at beCacheCap distinct step sizes;
+	// beyond that operators are built uncached (sessions still hold the
+	// operator for their current dt, so repeated same-dt stepping never
+	// refactors either way).
+	beMu  sync.Mutex
+	beOps map[float64]*beEntry
+
+	// stats aggregates per-path solver counters across all sessions.
+	stats solverStats
 
 	// rescue is the lazily-built dense fallback for steady solves the
 	// iterative backend stalls on (see rescueSolve).
 	rescueOnce sync.Once
 	rescue     linalg.Operator
+}
+
+// beCacheCap bounds the per-solver (dt → operator) cache.
+const beCacheCap = 16
+
+type beEntry struct {
+	once sync.Once
+	op   linalg.Operator
+	err  error
+}
+
+// solverStats holds the solver's atomic counters; SolverStats is the
+// exported snapshot.
+type solverStats struct {
+	factorizations atomic.Int64
+	factorReuses   atomic.Int64
+	directSteps    atomic.Int64
+	cgSteps        atomic.Int64
+	cgIterations   atomic.Int64
+	stepSolveNanos atomic.Int64
+}
+
+// SolverStats is a snapshot of a solver's per-path counters. All counters
+// aggregate over every session of the solver since Compile.
+type SolverStats struct {
+	// Factorizations counts numeric matrix factorizations: the eager
+	// factorization at Compile (direct backends) plus one per distinct
+	// backward-Euler step size. CG assemblies don't factor and don't count.
+	Factorizations int64 `json:"factorizations"`
+	// FactorReuses counts backward-Euler operator requests served from the
+	// per-solver (dt → operator) cache instead of factoring.
+	FactorReuses int64 `json:"factor_reuses"`
+	// DirectSteps and CGSteps split backward-Euler steps by solve path:
+	// triangular/back-substitution solves vs conjugate-gradient iteration.
+	DirectSteps int64 `json:"direct_steps"`
+	CGSteps     int64 `json:"cg_steps"`
+	// CGIterations totals CG iterations across CGSteps.
+	CGIterations int64 `json:"cg_iterations"`
+	// StepSolveNanos estimates cumulative wall time inside backward-Euler
+	// step solves (sampled one step in eight and scaled, so the clock reads
+	// don't tax the hot path); divide by (DirectSteps+CGSteps) for the mean
+	// solve latency.
+	StepSolveNanos int64 `json:"step_solve_nanos"`
+}
+
+// Stats snapshots the solver's per-path counters.
+func (s *Solver) Stats() SolverStats {
+	return SolverStats{
+		Factorizations: s.stats.factorizations.Load(),
+		FactorReuses:   s.stats.factorReuses.Load(),
+		DirectSteps:    s.stats.directSteps.Load(),
+		CGSteps:        s.stats.cgSteps.Load(),
+		CGIterations:   s.stats.cgIterations.Load(),
+		StepSolveNanos: s.stats.stepSolveNanos.Load(),
+	}
 }
 
 // getWS borrows a workspace from the solver's pool; putWS returns it.
@@ -185,15 +298,41 @@ func (s *Solver) getWS() *linalg.Workspace {
 
 func (s *Solver) putWS(ws *linalg.Workspace) { s.wsPool.Put(ws) }
 
-// Compile assembles the network into a solver, picking the dense backend for
-// networks of at most DenseCutoff nodes and the sparse backend above. It
-// verifies every node has a path to ambient (otherwise the conductance
-// matrix is singular and the steady state unbounded).
+// Compile assembles the network into a solver, auto-selecting the backend:
+// dense LU for networks of at most DenseCutoff nodes, sparse direct LDLᵀ
+// (RCM-ordered Cholesky) above it when the predicted factor fill stays under
+// CholeskyMaxFill, and Jacobi-CG otherwise. It verifies every node has a
+// path to ambient (otherwise the conductance matrix is singular and the
+// steady state unbounded), so the direct backends never see a structurally
+// singular system. Equivalent to CompileHint(HintAuto); use CompileHint to
+// force a specific backend.
 func (n *Network) Compile() (*Solver, error) {
+	return n.CompileHint(HintAuto)
+}
+
+// CompileHint is Compile with an explicit backend choice. HintAuto applies
+// the selection heuristic above; the other hints force their backend (and
+// surface its errors — e.g. HintCholesky on a non-SPD system fails instead
+// of falling back).
+func (n *Network) CompileHint(hint SolverHint) (*Solver, error) {
+	switch hint {
+	case HintDense:
+		return n.CompileWith(linalg.DenseBackend{})
+	case HintCholesky:
+		return n.CompileWith(linalg.CholeskyBackend{})
+	case HintCG:
+		return n.CompileWith(linalg.SparseBackend{})
+	}
 	if n.N() <= DenseCutoff {
 		return n.CompileWith(linalg.DenseBackend{})
 	}
-	return n.CompileWith(linalg.SparseBackend{})
+	s, err := n.CompileWith(linalg.CholeskyBackend{MaxFillRatio: CholeskyMaxFill})
+	if err != nil && (errors.Is(err, linalg.ErrCholeskyFill) || errors.Is(err, linalg.ErrNotSPD) || errors.Is(err, linalg.ErrNotSymmetric)) {
+		// Too much fill (or a system the direct path cannot factor): the
+		// iterative backend handles both.
+		return n.CompileWith(linalg.SparseBackend{})
+	}
+	return s, err
 }
 
 // CompileWith assembles the network onto an explicit solver backend. Use it
@@ -215,7 +354,15 @@ func (n *Network) CompileWith(backend linalg.Backend) (*Solver, error) {
 	for i, c := range n.cap {
 		inv[i] = 1 / c
 	}
-	return &Solver{net: n, backend: backend, op: op, invCap: inv}, nil
+	amb := make([]float64, sz)
+	for i, g := range n.ambG {
+		amb[i] = g * n.ambient
+	}
+	s := &Solver{net: n, backend: backend, op: op, invCap: inv, ambRHS: amb, beOps: make(map[float64]*beEntry)}
+	if !op.Iterative() {
+		s.stats.factorizations.Add(1) // direct backends factor eagerly in Assemble
+	}
+	return s, nil
 }
 
 // assemble emits the conductance system in coordinate form. Pairs are
@@ -296,8 +443,18 @@ func (n *Network) checkGrounded() error {
 // Net returns the underlying network.
 func (s *Solver) Net() *Network { return s.net }
 
-// Backend returns the name of the linear-algebra backend in use ("dense" or
-// "sparse").
+// FactorInfo reports the sparse direct factor's size (strictly-lower
+// entries) and fill ratio nnz(L+D+Lᵀ)/nnz(A) when the solver compiled onto
+// the Cholesky backend; ok is false on the dense and CG paths.
+func (s *Solver) FactorInfo() (nnzL int, fillRatio float64, ok bool) {
+	if c, isChol := s.op.(*linalg.CholeskyOperator); isChol {
+		return c.NNZL(), c.FillRatio(), true
+	}
+	return 0, 0, false
+}
+
+// Backend returns the name of the linear-algebra backend in use ("dense",
+// "cholesky" or "sparse").
 func (s *Solver) Backend() string { return s.backend.Name() }
 
 // SteadyState returns the equilibrium temperatures (Kelvin) for constant
@@ -368,7 +525,7 @@ func (s *Solver) rhs(power []float64) []float64 {
 	}
 	rhs := make([]float64, len(power))
 	for i := range rhs {
-		rhs[i] = power[i] + s.net.ambG[i]*s.net.ambient
+		rhs[i] = power[i] + s.ambRHS[i]
 	}
 	return rhs
 }
@@ -389,7 +546,7 @@ func (s *Solver) derivs(power []float64) ode.Derivs {
 	return func(_ float64, temp, dst []float64) {
 		s.op.Apply(temp, at)
 		for i := range dst {
-			dst[i] = (power[i] + s.net.ambG[i]*s.net.ambient - at[i]) * s.invCap[i]
+			dst[i] = (power[i] + s.ambRHS[i] - at[i]) * s.invCap[i]
 		}
 	}
 }
@@ -416,7 +573,9 @@ func (s *Solver) Transient(temp, power []float64, duration float64, opt Transien
 }
 
 // beOperator derives the backward-Euler operator (C/dt + A) from the
-// conductance operator.
+// conductance operator. On the direct backends the shift reuses the
+// conductance operator's symbolic analysis and performs a numeric
+// refactorization only.
 func (s *Solver) beOperator(dt float64) (linalg.Operator, error) {
 	shift := make([]float64, s.net.N())
 	for i, c := range s.net.cap {
@@ -426,7 +585,33 @@ func (s *Solver) beOperator(dt float64) (linalg.Operator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rcnet: backward Euler operator: %w", err)
 	}
+	if !op.Iterative() {
+		s.stats.factorizations.Add(1)
+	}
 	return op, nil
+}
+
+// beOperatorCached returns the backward-Euler operator for dt through the
+// per-solver cache: one factorization per (solver, dt), single-flight, any
+// number of concurrent sessions. Past beCacheCap distinct step sizes new
+// operators are built uncached.
+func (s *Solver) beOperatorCached(dt float64) (linalg.Operator, error) {
+	s.beMu.Lock()
+	e, ok := s.beOps[dt]
+	if !ok {
+		if len(s.beOps) >= beCacheCap {
+			s.beMu.Unlock()
+			return s.beOperator(dt)
+		}
+		e = &beEntry{}
+		s.beOps[dt] = e
+	}
+	s.beMu.Unlock()
+	e.once.Do(func() { e.op, e.err = s.beOperator(dt) })
+	if ok && e.err == nil {
+		s.stats.factorReuses.Add(1)
+	}
+	return e.op, e.err
 }
 
 // StepBE advances temp (in place) by one backward-Euler step of size dt
@@ -473,46 +658,88 @@ type Sample struct {
 }
 
 // session is an independent backward-Euler stepping context: its own solve
-// workspace, scratch buffers and BE-operator cache. Concurrent trace
-// replays on one Solver each get a session, so they share only the immutable
-// conductance operator.
+// workspace and scratch buffers, plus a reference to the solver-cached
+// backward-Euler operator for its current step size. Concurrent trace
+// replays on one Solver each get a session, so the mutable state they share
+// is limited to the solver's factor cache and atomic counters.
 type session struct {
 	s        *Solver
 	ws       linalg.Workspace
 	rhs, sol []float64
+	capDt    []float64 // C/dt for the current step size (hot-path rhs term)
 	step     float64
 	op       linalg.Operator
+	iter     bool   // op.Iterative(), cached off the hot path
+	nsteps   uint64 // steps taken; drives the 1-in-8 latency sampling
 }
 
 func (s *Solver) newSession() *session {
-	return &session{s: s, rhs: make([]float64, s.net.N()), sol: make([]float64, s.net.N())}
+	n := s.net.N()
+	return &session{s: s, rhs: make([]float64, n), sol: make([]float64, n), capDt: make([]float64, n)}
 }
 
-// stepBE performs one backward-Euler step. The solve lands in session
-// scratch and is copied into temp only on success, so a stalled iterative
-// solve cannot corrupt the caller's state.
+// stepBE performs one backward-Euler step. temp is updated only by a
+// successful solve: iterative solves land in session scratch first, direct
+// solves cannot fail after factorization.
 func (ss *session) stepBE(temp, power []float64, dt float64) error {
-	if dt <= 0 {
-		return fmt.Errorf("rcnet: non-positive step %g", dt)
+	if !(dt > 0) || math.IsInf(dt, 0) {
+		// NaN must be rejected here, not just nonsense-tolerated: it would
+		// both poison the solver's (dt → factor) cache (NaN map keys never
+		// match a lookup) and factor to silent NaN temperatures.
+		return fmt.Errorf("rcnet: invalid step %g", dt)
 	}
 	net := ss.s.net
 	if len(power) != net.N() {
 		panic(fmt.Sprintf("rcnet: power vector length %d, want %d", len(power), net.N()))
 	}
 	if ss.op == nil || ss.step != dt {
-		op, err := ss.s.beOperator(dt)
+		op, err := ss.s.beOperatorCached(dt)
 		if err != nil {
 			return err
 		}
-		ss.op, ss.step = op, dt
+		ss.op, ss.step, ss.iter = op, dt, op.Iterative()
+		for i, c := range net.cap {
+			ss.capDt[i] = c / dt
+		}
 	}
+	ambRHS, capDt := ss.s.ambRHS, ss.capDt
 	for i := range ss.rhs {
-		ss.rhs[i] = power[i] + net.ambG[i]*net.ambient + net.cap[i]/dt*temp[i]
+		ss.rhs[i] = power[i] + ambRHS[i] + capDt[i]*temp[i]
 	}
-	if _, err := ss.op.Solve(ss.rhs, temp, ss.sol, &ss.ws); err != nil {
+	// Solve latency is sampled one step in eight: two clock reads per step
+	// would cost ~10% of a small model's triangular solve.
+	sample := ss.nsteps&7 == 0
+	ss.nsteps++
+	var start time.Time
+	if sample {
+		start = time.Now()
+	}
+	st := &ss.s.stats
+	if ss.iter {
+		// Iterative solves land in session scratch and are copied into temp
+		// only on success, so a stalled solve cannot corrupt the caller's
+		// state.
+		if _, err := ss.op.Solve(ss.rhs, temp, ss.sol, &ss.ws); err != nil {
+			return fmt.Errorf("rcnet: backward Euler solve: %w", err)
+		}
+		if sample {
+			st.stepSolveNanos.Add(8 * int64(time.Since(start)))
+		}
+		st.cgSteps.Add(1)
+		st.cgIterations.Add(int64(ss.ws.LastIterations))
+		copy(temp, ss.sol)
+		return nil
+	}
+	// Direct solves cannot fail after factorization and write the result
+	// only in their final permutation scatter, so they may target temp
+	// in place (no scratch copy).
+	if _, err := ss.op.Solve(ss.rhs, nil, temp, &ss.ws); err != nil {
 		return fmt.Errorf("rcnet: backward Euler solve: %w", err)
 	}
-	copy(temp, ss.sol)
+	if sample {
+		st.stepSolveNanos.Add(8 * int64(time.Since(start)))
+	}
+	st.directSteps.Add(1)
 	return nil
 }
 

@@ -142,3 +142,15 @@ func (c *ModelCache) Len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// Models snapshots the resident cached models, most recently used first.
+// Used by the stats endpoint to aggregate per-model solver counters.
+func (c *ModelCache) Models() []*CachedModel {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*CachedModel, 0, c.ll.Len())
+	for e := c.ll.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*cacheEntry).cm)
+	}
+	return out
+}

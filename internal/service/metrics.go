@@ -99,6 +99,32 @@ type LatencyStats struct {
 	P99MS float64 `json:"p99_ms"`
 }
 
+// SolverPathStats aggregates the per-path linear-solver counters over every
+// resident cached model: which backends the models compiled onto, how
+// backward-Euler steps split between direct factor-solves and the CG
+// fallback, how often factorizations were reused, and the mean triangular /
+// CG solve latency per step.
+type SolverPathStats struct {
+	// Backends counts resident models per solver backend name
+	// ("dense", "cholesky", "sparse").
+	Backends map[string]int `json:"backends"`
+	// Factorizations counts numeric factorizations (compile-time plus one
+	// per distinct backward-Euler step size per model).
+	Factorizations int64 `json:"factorizations"`
+	// FactorReuses counts backward-Euler operator requests served from a
+	// model's (dt → factor) cache instead of factoring.
+	FactorReuses int64 `json:"factor_reuses"`
+	// DirectSteps and CGSteps split transient steps by solve path.
+	DirectSteps int64 `json:"direct_steps"`
+	CGSteps     int64 `json:"cg_steps"`
+	// CGIterations totals conjugate-gradient iterations across CGSteps.
+	CGIterations int64 `json:"cg_iterations"`
+	// MeanStepSolveUS is the mean per-step solve latency in microseconds
+	// (triangular solves on the direct paths, CG iteration on the
+	// fallback), over all steps of all resident models.
+	MeanStepSolveUS float64 `json:"mean_step_solve_us"`
+}
+
 // Stats is the /v1/stats payload.
 type Stats struct {
 	Requests          map[string]int64 `json:"requests"`
@@ -111,6 +137,7 @@ type Stats struct {
 	Cache             CacheStats       `json:"cache"`
 	CacheHitRate      float64          `json:"cache_hit_rate"`
 	SolveLatency      LatencyStats     `json:"solve_latency"`
+	Solver            SolverPathStats  `json:"solver"`
 }
 
 func (m *metrics) snapshot(cache *ModelCache) Stats {
@@ -119,6 +146,22 @@ func (m *metrics) snapshot(cache *ModelCache) Stats {
 	hitRate := 0.0
 	if total := cs.Hits + cs.Misses; total > 0 {
 		hitRate = float64(cs.Hits) / float64(total)
+	}
+	solver := SolverPathStats{Backends: make(map[string]int)}
+	for _, cm := range cache.Models() {
+		solver.Backends[cm.Model.SolverBackend()]++
+		st := cm.Model.SolverStats()
+		solver.Factorizations += st.Factorizations
+		solver.FactorReuses += st.FactorReuses
+		solver.DirectSteps += st.DirectSteps
+		solver.CGSteps += st.CGSteps
+		solver.CGIterations += st.CGIterations
+		if steps := st.DirectSteps + st.CGSteps; steps > 0 {
+			solver.MeanStepSolveUS += float64(st.StepSolveNanos) / 1e3
+		}
+	}
+	if steps := solver.DirectSteps + solver.CGSteps; steps > 0 {
+		solver.MeanStepSolveUS /= float64(steps)
 	}
 	return Stats{
 		Requests:          m.requestCounts(),
@@ -131,5 +174,6 @@ func (m *metrics) snapshot(cache *ModelCache) Stats {
 		Cache:             cs,
 		CacheHitRate:      hitRate,
 		SolveLatency:      LatencyStats{Count: n, P50MS: ps[0], P90MS: ps[1], P99MS: ps[2]},
+		Solver:            solver,
 	}
 }

@@ -51,6 +51,9 @@ type ScenarioHeaderJSON struct {
 	Steps     int     `json:"steps"`
 	IntervalS float64 `json:"interval_s"`
 	Cache     string  `json:"cache"`
+	// Solver maps each package label to the linear-solver backend its model
+	// compiled onto ("dense", "cholesky", "sparse").
+	Solver map[string]string `json:"solver,omitempty"`
 }
 
 // ScenarioResponse is the buffered /v1/scenario reply.
@@ -61,6 +64,9 @@ type ScenarioResponse struct {
 	IntervalS float64            `json:"interval_s"`
 	Cache     string             `json:"cache"` // "hit" iff every package model came from cache
 	SolveMS   float64            `json:"solve_ms"`
+	// Solver maps each package label to the linear-solver backend its model
+	// compiled onto ("dense", "cholesky", "sparse").
+	Solver map[string]string `json:"solver,omitempty"`
 }
 
 // ScenarioTrailerJSON is the last NDJSON row of a streamed scenario.
@@ -178,6 +184,7 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		IntervalS: compiled.Interval(),
 		Cache:     cacheState,
 		SolveMS:   solveMS,
+		Solver:    compiled.SolverBackends(),
 	}
 	for _, cr := range results {
 		resp.Cells = append(resp.Cells, cellJSON(cr))
@@ -234,6 +241,7 @@ func (s *Server) handleScenarioStream(w http.ResponseWriter, r *http.Request) {
 		Steps:     compiled.Steps(),
 		IntervalS: compiled.Interval(),
 		Cache:     cacheState,
+		Solver:    compiled.SolverBackends(),
 	})
 	timedOut := false
 	compiled.RunGrid(ctx, req.Workers, func(cr scenario.CellResult) {

@@ -403,6 +403,72 @@ func TestStatsAndHealthz(t *testing.T) {
 	}
 }
 
+// TestStatsSolverPath: after a transient request the stats must attribute
+// the steps to a solver path — the EV6 model auto-selects the sparse direct
+// Cholesky backend, so every step is a factor-solve: one factorization, no
+// CG fallback, a positive mean solve latency.
+func TestStatsSolverPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr := testTrace(t)
+	resp, raw := postJSON(t, ts.URL+"/v1/transient", TransientRequest{
+		Model: ModelSpec{Floorplan: "ev6", Package: "oil-silicon", Rconv: 0.3, Secondary: true},
+		Trace: traceSpec(tr),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("transient: status %d: %s", resp.StatusCode, raw)
+	}
+	var tresp TransientResponse
+	decodeInto(t, raw, &tresp)
+
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sv := st.Solver
+	if sv.Backends["cholesky"] != 1 {
+		t.Fatalf("solver backends: %+v, want one cholesky model", sv.Backends)
+	}
+	if sv.DirectSteps != int64(tresp.Steps) {
+		t.Fatalf("direct steps %d, want %d (every replay step is a factor-solve)", sv.DirectSteps, tresp.Steps)
+	}
+	if sv.CGSteps != 0 {
+		t.Fatalf("cg steps %d, want 0", sv.CGSteps)
+	}
+	// One eager factorization at compile plus one for the replay's dt.
+	if sv.Factorizations != 2 {
+		t.Fatalf("factorizations %d, want 2", sv.Factorizations)
+	}
+	if sv.MeanStepSolveUS <= 0 {
+		t.Fatalf("mean step solve latency %g, want > 0", sv.MeanStepSolveUS)
+	}
+
+	// A second identical request reuses the cached factor.
+	resp, raw = postJSON(t, ts.URL+"/v1/transient", TransientRequest{
+		Model: ModelSpec{Floorplan: "ev6", Package: "oil-silicon", Rconv: 0.3, Secondary: true},
+		Trace: traceSpec(tr),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("transient 2: status %d: %s", resp.StatusCode, raw)
+	}
+	sresp2, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp2.Body.Close()
+	var st2 Stats
+	if err := json.NewDecoder(sresp2.Body).Decode(&st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Solver.Factorizations != 2 {
+		t.Fatalf("second request re-factored: %d factorizations", st2.Solver.Factorizations)
+	}
+}
+
 func TestStreamedTransientBadModelParams(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	for _, q := range []string{"rconv=abc", "ambient_c=x", "max_points=x", "timeout_ms=x", "floorplan=grid:0x9", "floorplan=grid:9"} {

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# bench.sh — the solver benchmark harness.
+#
+# Runs the solver-path micro-benchmarks (the root EV6 benchmarks plus the
+# rcnet backend matrix) and emits BENCH_solver.json via cmd/benchreport:
+# ns/op, B/op, allocs/op, custom metrics, GOMAXPROCS and the commit hash.
+# When BENCH_solver.json already exists, its numbers are embedded as the
+# baseline and per-benchmark speedups are computed, so the checked-in file
+# forms a performance trajectory across PRs.
+#
+# Usage, from the repository root:
+#
+#	./scripts/bench.sh                 # full run, rewrites BENCH_solver.json
+#	BENCHTIME=1x ./scripts/bench.sh    # CI smoke: one iteration per benchmark
+#	OUT=/tmp/b.json ./scripts/bench.sh # write elsewhere
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Per-group iteration counts: the EV6 step/solve benchmarks are ~1 µs/op and
+# need many iterations for a stable number, the sweep is ~0.5 ms/op, and the
+# rcnet backend matrix includes multi-second dense rows. Setting BENCHTIME
+# overrides all three (CI smoke passes BENCHTIME=1x).
+STEP_BENCHTIME="${BENCHTIME:-50000x}"
+SWEEP_BENCHTIME="${BENCHTIME:-1000x}"
+RCNET_BENCHTIME="${BENCHTIME:-5x}"
+OUT="${OUT:-BENCH_solver.json}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "== root solver benchmarks (-benchtime $STEP_BENCHTIME)"
+go test -run '^$' -bench 'BenchmarkTransientStepBE$|BenchmarkSteadyStateSolve$' \
+  -benchmem -benchtime "$STEP_BENCHTIME" . | tee -a "$tmp"
+
+echo "== trace replay sweep (-benchtime $SWEEP_BENCHTIME)"
+go test -run '^$' -bench 'BenchmarkTraceReplaySweep$' \
+  -benchmem -benchtime "$SWEEP_BENCHTIME" . | tee -a "$tmp"
+
+echo "== rcnet backend benchmarks (-benchtime $RCNET_BENCHTIME)"
+go test -run '^$' -bench 'BenchmarkBackendSteadyStateSolveOnly|BenchmarkBackendTransientBE' \
+  -benchmem -benchtime "$RCNET_BENCHTIME" ./internal/rcnet | tee -a "$tmp"
+
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+prev_args=()
+if [ -f "$OUT" ]; then
+  prev_args=(-prev "$OUT")
+fi
+go run ./cmd/benchreport -commit "$commit" "${prev_args[@]}" -out "$OUT" < "$tmp"
+echo "wrote $OUT"

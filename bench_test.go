@@ -321,19 +321,28 @@ func BenchmarkUarchThroughput(b *testing.B) {
 	b.ReportMetric(1e6*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
 }
 
-// BenchmarkTraceReplaySweep replays one synthetic power trace against four
-// EV6 model configurations through the batched sweep API (worker pool, one
-// stepping session per scenario). On multicore hosts the sweep scales with
-// GOMAXPROCS; per-scenario solver work is identical either way. See also
-// internal/rcnet's Backend* benchmarks for the dense-vs-sparse comparison.
+// BenchmarkTraceReplaySweep replays synthetic power traces against four EV6
+// model configurations through the batched sweep API: four scenarios per
+// model (the production shape — a sweep fans many workloads over a few
+// cooling configurations), sixteen jobs total. Same-model scenarios advance
+// in lockstep, solving all four right-hand sides per factor traversal; on
+// multicore hosts the per-worker chunks additionally scale with GOMAXPROCS.
+// See also internal/rcnet's Backend* benchmarks for the backend matrix and
+// BenchmarkTransientBatch for the width-scaling curve.
 func BenchmarkTraceReplaySweep(b *testing.B) {
+	const perModel = 4
 	fp := floorplan.EV6()
 	names := fp.Names()
-	tr, err := trace.PulseTrain(names, "IntReg", 3, 5e-3, 5e-3, 0.5e-3, 3)
-	if err != nil {
-		b.Fatal(err)
+	blocks := []string{"IntReg", "FPMap", "Dcache", "Bpred"}
+	traces := make([]*trace.PowerTrace, perModel)
+	for i, blk := range blocks {
+		tr, err := trace.PulseTrain(names, blk, 3, 5e-3, 5e-3, 0.5e-3, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		traces[i] = tr
 	}
-	var jobs []hotspot.SweepJob
+	var models []*hotspot.Model
 	for _, dir := range []hotspot.FlowDirection{hotspot.Uniform, hotspot.LeftToRight, hotspot.TopToBottom} {
 		m, err := hotspot.New(hotspot.Config{
 			Floorplan: fp,
@@ -344,11 +353,7 @@ func BenchmarkTraceReplaySweep(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		jobs = append(jobs, hotspot.SweepJob{Model: m, TraceJob: hotspot.TraceJob{
-			Schedule:    func(t float64, p []float64) { copy(p, tr.At(t)) },
-			Duration:    tr.Duration(),
-			SampleEvery: tr.Interval,
-		}})
+		models = append(models, m)
 	}
 	air, err := hotspot.New(hotspot.Config{
 		Floorplan: fp,
@@ -358,11 +363,18 @@ func BenchmarkTraceReplaySweep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	jobs = append(jobs, hotspot.SweepJob{Model: air, TraceJob: hotspot.TraceJob{
-		Schedule:    func(t float64, p []float64) { copy(p, tr.At(t)) },
-		Duration:    tr.Duration(),
-		SampleEvery: tr.Interval,
-	}})
+	models = append(models, air)
+	var jobs []hotspot.SweepJob
+	for _, m := range models {
+		for _, tr := range traces {
+			tr := tr
+			jobs = append(jobs, hotspot.SweepJob{Model: m, TraceJob: hotspot.TraceJob{
+				Schedule:    func(t float64, p []float64) { copy(p, tr.At(t)) },
+				Duration:    tr.Duration(),
+				SampleEvery: tr.Interval,
+			}})
+		}
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j := range jobs {

@@ -27,6 +27,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -46,10 +47,21 @@ type Baseline struct {
 	NsPerOp map[string]float64 `json:"ns_per_op"`
 }
 
+// HistoryEntry is one run's headline numbers in the report's history array:
+// the machine-readable performance trajectory across PRs. Unlike Baseline
+// (which always holds exactly the previous run), History accumulates — each
+// bench.sh run appends itself.
+type HistoryEntry struct {
+	Commit  string             `json:"commit"`
+	Date    string             `json:"date,omitempty"` // RFC 3339 UTC (absent for runs predating the history schema)
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
 // Report is the BENCH_*.json schema.
 type Report struct {
 	Schema     string      `json:"schema"`
 	Commit     string      `json:"commit"`
+	Date       string      `json:"date,omitempty"`
 	GoVersion  string      `json:"go_version"`
 	GOOS       string      `json:"goos"`
 	GOARCH     string      `json:"goarch"`
@@ -61,13 +73,25 @@ type Report struct {
 	// present in both runs.
 	Baseline *Baseline          `json:"baseline,omitempty"`
 	Speedup  map[string]float64 `json:"speedup,omitempty"`
+	// History carries every prior run plus this one (commit, date, ns/op),
+	// so the perf trajectory across PRs stays machine-readable instead of
+	// being overwritten run after run.
+	History []HistoryEntry `json:"history,omitempty"`
 }
 
 func main() {
 	commit := flag.String("commit", "unknown", "commit hash to stamp the report with")
 	prevPath := flag.String("prev", "", "previous report to embed as the baseline (may equal -out)")
 	outPath := flag.String("out", "", "output file (default stdout)")
+	comparePath := flag.String("compare", "", "compare mode: baseline report to diff -in against (emits warnings, never fails)")
+	inPath := flag.String("in", "", "compare mode: freshly generated report")
+	threshold := flag.Float64("threshold", 25, "compare mode: warn when ns/op regresses by more than this percentage")
 	flag.Parse()
+
+	if *comparePath != "" {
+		compareReports(*comparePath, *inPath, *threshold)
+		return
+	}
 
 	var prev *Report
 	if *prevPath != "" {
@@ -84,6 +108,7 @@ func main() {
 	rep := &Report{
 		Schema:     "repro-bench/1",
 		Commit:     *commit,
+		Date:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -108,7 +133,14 @@ func main() {
 				rep.Speedup[b.Name] = round3(old / b.NsPerOp)
 			}
 		}
+		rep.History = prev.History
+		if len(rep.History) == 0 {
+			// First report with a history: seed it with the previous run so
+			// the trajectory starts at the oldest known numbers.
+			rep.History = append(rep.History, historyEntry(prev))
+		}
 	}
+	rep.History = append(rep.History, historyEntry(rep))
 
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -123,6 +155,59 @@ func main() {
 	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// historyEntry condenses a report into its history line.
+func historyEntry(r *Report) HistoryEntry {
+	e := HistoryEntry{Commit: r.Commit, Date: r.Date, NsPerOp: make(map[string]float64, len(r.Benchmarks))}
+	for _, b := range r.Benchmarks {
+		e.NsPerOp[b.Name] = b.NsPerOp
+	}
+	return e
+}
+
+// compareReports diffs two reports and prints a GitHub Actions warning
+// annotation per benchmark whose ns/op regressed beyond the threshold. It
+// never exits nonzero: CI smoke runs one iteration per benchmark, so the
+// numbers carry real noise and the diff is a tripwire, not a gate.
+func compareReports(basePath, newPath string, thresholdPct float64) {
+	read := func(path string) *Report {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: compare: %v (skipping comparison)\n", err)
+			return nil
+		}
+		r := &Report{}
+		if err := json.Unmarshal(raw, r); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: compare: %s: %v (skipping comparison)\n", path, err)
+			return nil
+		}
+		return r
+	}
+	base, cur := read(basePath), read(newPath)
+	if base == nil || cur == nil {
+		return
+	}
+	baseNs := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseNs[b.Name] = b.NsPerOp
+	}
+	regressions := 0
+	for _, b := range cur.Benchmarks {
+		old, ok := baseNs[b.Name]
+		if !ok || old <= 0 || b.NsPerOp <= 0 {
+			continue
+		}
+		pct := (b.NsPerOp/old - 1) * 100
+		if pct > thresholdPct {
+			regressions++
+			fmt.Printf("::warning title=bench regression::%s: %.0f ns/op vs baseline %.0f (+%.1f%%, threshold %.0f%%, baseline commit %s)\n",
+				b.Name, b.NsPerOp, old, pct, thresholdPct, base.Commit)
+		}
+	}
+	if regressions == 0 {
+		fmt.Printf("benchreport: no ns/op regressions beyond %.0f%% against %s (%s)\n", thresholdPct, basePath, base.Commit)
 	}
 }
 

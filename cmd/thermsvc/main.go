@@ -26,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,6 +43,7 @@ func main() {
 		concurrency = flag.Int("concurrency", 4, "max concurrent solves")
 		queue       = flag.Int("queue", 64, "max queued requests before shedding with 429")
 		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
 	)
 	flag.Parse()
 
@@ -53,6 +56,25 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		// Profiling stays opt-in and on its own listener: the debug surface
+		// is never reachable through the service port, and binding it to
+		// localhost (the sensible value) keeps it off the network entirely.
+		// scripts/profile.sh drives this endpoint.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("thermsvc: pprof on %s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("thermsvc: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	log.Printf("thermsvc: listening on %s (cache %d models, %d concurrent solves, queue %d)",
 		*addr, *cacheCap, *concurrency, *queue)

@@ -166,49 +166,211 @@ type ReplayJob struct {
 // ReplayBatchResults replays row-streamed jobs across a worker pool
 // (workers ≤ 0 = GOMAXPROCS) and reports per-job outcomes: results and
 // errors are both indexed like jobs, so callers serving independent
-// scenarios can attribute each failure to its own job. Jobs may share a
-// Model — replays share only the compiled conductance operator, and each
-// worker keeps one Session per distinct model, so a batch of same-interval
-// jobs derives the backward-Euler operator once per worker rather than once
-// per job.
+// scenarios can attribute each failure to its own job.
+//
+// Jobs are split round-robin into per-worker chunks; each worker groups its
+// chunk by (model, trace interval) and advances every group in lockstep —
+// one row pulled from each live reader per step, then one batched solve for
+// all of them — so same-model same-interval jobs pay one factor traversal
+// per step instead of one per job. Per-job results are bit-identical to
+// Session.ReplayRows at any worker count. Shorter traces simply drop out of
+// their group at EOF.
+//
+// Lockstep polling means each reader must be able to produce its next row
+// without another reader in the batch being drained first. Independent
+// sources (in-memory traces, separate files or connections — every caller
+// in this repository) satisfy that trivially; slices of one sequential
+// stream would not, and must be replayed one job per batch.
 func ReplayBatchResults(jobs []ReplayJob, workers int) ([][]TracePoint, []error) {
 	results := make([][]TracePoint, len(jobs))
 	errs := make([]error, len(jobs))
 	if len(jobs) == 0 {
 		return results, errs
 	}
+	valid := make([]int, 0, len(jobs))
 	for j, job := range jobs {
-		if job.Model == nil {
+		switch {
+		case job.Model == nil:
 			errs[j] = fmt.Errorf("nil model")
-		} else if job.Rows == nil {
+		case job.Rows == nil:
 			errs[j] = fmt.Errorf("nil row source")
+		default:
+			valid = append(valid, j)
 		}
 	}
-	pool.Run(len(jobs), workers, func() func(int) {
-		sessions := make(map[*Model]*Session)
-		return func(j int) {
-			if errs[j] != nil {
-				return
-			}
-			defer func() {
-				if r := recover(); r != nil {
-					errs[j] = fmt.Errorf("job panicked: %v", r)
-				}
-			}()
-			job := jobs[j]
-			se := sessions[job.Model]
-			if se == nil {
-				se = job.Model.NewSession()
-				sessions[job.Model] = se
-			}
-			temps := job.Temps
-			if temps == nil {
-				temps = job.Model.AmbientState()
-			}
-			results[j], errs[j] = se.ReplayRows(temps, job.Rows)
-		}
+	pool.RunChunked(valid, workers, func(chunk []int) {
+		replayRowsChunk(jobs, chunk, results, errs)
 	})
 	return results, errs
+}
+
+// replayRowsChunk groups one worker's jobs by (model, interval) and
+// locksteps each group, splitting past rcnet.MaxBatchWidth. Jobs whose
+// reader reports a non-positive interval fail up front, exactly like
+// ReplayRows, and a reader that panics in Interval() fails its own job.
+func replayRowsChunk(jobs []ReplayJob, idx []int, results [][]TracePoint, errs []error) {
+	type key struct {
+		m  *Model
+		dt float64
+	}
+	interval := func(j int) (dt float64, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("job panicked: %v", r)
+			}
+		}()
+		return jobs[j].Rows.Interval(), nil
+	}
+	var order []key
+	groups := make(map[key][]int)
+	for _, j := range idx {
+		dt, err := interval(j)
+		if err != nil {
+			errs[j] = err
+			continue
+		}
+		if !(dt > 0) {
+			errs[j] = fmt.Errorf("hotspot: non-positive trace interval %g", dt)
+			continue
+		}
+		k := key{jobs[j].Model, dt}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], j)
+	}
+	for _, k := range order {
+		g := groups[k]
+		for off := 0; off < len(g); off += rcnet.MaxBatchWidth {
+			end := off + rcnet.MaxBatchWidth
+			if end > len(g) {
+				end = len(g)
+			}
+			lockstepRows(k.m, k.dt, jobs, g[off:end], results, errs)
+		}
+	}
+}
+
+// lockstepRows replays one ≤MaxBatchWidth group of same-interval streamed
+// jobs against one model: each step pulls one row per live reader, expands
+// it to node power, and advances every live state in one batched solve.
+func lockstepRows(m *Model, dt float64, jobs []ReplayJob, idx []int, results [][]TracePoint, errs []error) {
+	kk := len(idx)
+	bs := m.solver.NewBatchSession(kk)
+	n := m.net.N()
+	nb := len(m.blockNode)
+	temps := make([][]float64, kk)
+	powers := make([][]float64, kk)
+	serrs := make([]error, kk)
+	cols := make([][]int, kk)
+	rowBufs := make([][]float64, kk)
+	nrows := make([]int, kk)
+	// Per-job setup with panic containment: a broken reader's Names() must
+	// fail its own job, exactly like the per-job sessions it replaced.
+	setup := func(k, j int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[j] = fmt.Errorf("job panicked: %v", r)
+				temps[k] = nil
+			}
+		}()
+		temps[k] = jobs[j].Temps
+		if temps[k] == nil {
+			temps[k] = m.AmbientState()
+		}
+		if len(temps[k]) != n {
+			errs[j] = fmt.Errorf("hotspot: temperature vector length %d, want %d", len(temps[k]), n)
+			temps[k] = nil
+			return
+		}
+		powers[k] = make([]float64, n)
+		cols[k] = m.TraceColumns(jobs[j].Rows.Names())
+		rowBufs[k] = make([]float64, len(cols[k]))
+	}
+	for k, j := range idx {
+		setup(k, j)
+	}
+	record := func(k, j int, t float64) {
+		bc := make([]float64, nb)
+		m.BlocksCInto(temps[k], bc)
+		results[j] = append(results[j], TracePoint{Time: t, BlockC: bc})
+	}
+	fail := func(k, j int, err error) {
+		errs[j] = err
+		results[j] = nil
+		temps[k] = nil
+	}
+	for k, j := range idx {
+		if temps[k] != nil {
+			record(k, j, 0)
+		}
+	}
+	// nextRow pulls one row with per-job panic containment (a broken reader
+	// must fail its own job, not the batch).
+	nextRow := func(k, j int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("job panicked: %v", r)
+			}
+		}()
+		return jobs[j].Rows.Next(rowBufs[k])
+	}
+	t := 0.0
+	for {
+		live := 0
+		for k, j := range idx {
+			if temps[k] == nil {
+				continue
+			}
+			err := nextRow(k, j)
+			if err == io.EOF {
+				if nrows[k] == 0 {
+					fail(k, j, fmt.Errorf("hotspot: empty trace: no power rows"))
+				} else {
+					temps[k] = nil // finished; results stand
+				}
+				continue
+			}
+			if err != nil {
+				fail(k, j, fmt.Errorf("hotspot: replay row %d: %w", nrows[k]+1, err))
+				continue
+			}
+			np := powers[k]
+			for i := range np {
+				np[i] = 0
+			}
+			for c, bi := range cols[k] {
+				if bi >= 0 {
+					np[m.blockNode[bi]] = rowBufs[k][c]
+				}
+			}
+			live++
+		}
+		if live == 0 {
+			return
+		}
+		if err := bs.StepBE(temps, powers, dt, serrs); err != nil {
+			for k, j := range idx {
+				if temps[k] != nil {
+					fail(k, j, fmt.Errorf("hotspot: replay row %d: %w", nrows[k]+1, err))
+				}
+			}
+			return
+		}
+		t += dt
+		for k, j := range idx {
+			if temps[k] == nil {
+				continue
+			}
+			if serrs[k] != nil {
+				fail(k, j, fmt.Errorf("hotspot: replay row %d: %w", nrows[k]+1, serrs[k]))
+				serrs[k] = nil
+				continue
+			}
+			nrows[k]++
+			record(k, j, t)
+		}
+	}
 }
 
 // RunReplayBatch is ReplayBatchResults with the sweep-style error contract:

@@ -145,6 +145,15 @@ func (r *Result) Grid(nx, ny int) []float64 {
 	return out
 }
 
+// BlocksCInto writes the block temperatures (°C, floorplan order) of a raw
+// node-temperature vector into dst (length = block count). It is the
+// allocation-free form of NewResult(temps).BlocksC() for per-step loops.
+func (m *Model) BlocksCInto(temps, dst []float64) {
+	for bi, node := range m.blockNode {
+		dst[bi] = materials.KToC(temps[node])
+	}
+}
+
 // SteadyState solves the equilibrium temperatures for the node-power vector
 // (from PowerVector/BlockPowerVector).
 func (m *Model) SteadyState(power []float64) *Result {
@@ -206,11 +215,17 @@ func (m *Model) nodeSchedule(schedule func(t float64, blockPower []float64)) fun
 	}
 }
 
+// tracePoints converts solver samples to block-temperature points. All
+// BlockC vectors share one flat backing array: a replay converts thousands
+// of points, and two allocations beat two-per-point.
 func (m *Model) tracePoints(samples []rcnet.Sample) []TracePoint {
+	nb := len(m.blockNode)
+	flat := make([]float64, len(samples)*nb)
 	out := make([]TracePoint, len(samples))
 	for i, s := range samples {
-		res := m.NewResult(s.Temp)
-		out[i] = TracePoint{Time: s.Time, BlockC: res.BlocksC()}
+		bc := flat[i*nb : (i+1)*nb : (i+1)*nb]
+		m.BlocksCInto(s.Temp, bc)
+		out[i] = TracePoint{Time: s.Time, BlockC: bc}
 	}
 	return out
 }
@@ -257,8 +272,12 @@ type SweepJob struct {
 }
 
 // RunSweep replays scenario jobs across a worker pool, where each job may
-// target a different Model. Jobs sharing a Model are safe: replays share
-// only the model's immutable compiled operator. workers ≤ 0 uses GOMAXPROCS.
+// target a different Model. Jobs are split round-robin into per-worker
+// chunks (workers ≤ 0 uses GOMAXPROCS); each worker groups its chunk by
+// (model, replay window) and advances every group in lockstep, so
+// same-model same-window scenarios solve up to rcnet.MaxBatchWidth
+// right-hand sides per factor traversal. Per-job results are bit-identical
+// at any worker count (batching never changes per-column arithmetic).
 // Results are indexed like jobs; the first error (by job order) is returned
 // after all jobs finish.
 //
@@ -273,22 +292,14 @@ func RunSweep(jobs []SweepJob, workers int) ([][]TracePoint, error) {
 	}
 	results := make([][]TracePoint, len(jobs))
 	errs := make([]error, len(jobs))
+	valid := make([]int, 0, len(jobs))
 	for j, job := range jobs {
-		errs[j] = validateSweepJob(job)
-	}
-	pool.Run(len(jobs), workers, func() func(int) {
-		return func(j int) {
-			if errs[j] != nil {
-				return
-			}
-			defer func() {
-				if r := recover(); r != nil {
-					errs[j] = fmt.Errorf("job panicked: %v", r)
-				}
-			}()
-			job := jobs[j]
-			results[j], errs[j] = job.Model.RunTrace(job.Temps, job.Schedule, job.Duration, job.SampleEvery)
+		if errs[j] = validateSweepJob(job); errs[j] == nil {
+			valid = append(valid, j)
 		}
+	}
+	pool.RunChunked(valid, workers, func(chunk []int) {
+		sweepChunk(jobs, chunk, results, errs)
 	})
 	for j, err := range errs {
 		if err != nil {
@@ -296,6 +307,45 @@ func RunSweep(jobs []SweepJob, workers int) ([][]TracePoint, error) {
 		}
 	}
 	return results, nil
+}
+
+// sweepChunk groups one worker's jobs by (model, window) — first-seen
+// order, jobs in index order — and locksteps each group through the model's
+// solver.
+func sweepChunk(jobs []SweepJob, idx []int, results [][]TracePoint, errs []error) {
+	type key struct {
+		m                     *Model
+		duration, sampleEvery float64
+	}
+	var order []key
+	groups := make(map[key][]int)
+	for _, j := range idx {
+		k := key{jobs[j].Model, jobs[j].Duration, jobs[j].SampleEvery}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], j)
+	}
+	for _, k := range order {
+		g := groups[k]
+		rjobs := make([]rcnet.TraceJob, len(g))
+		for i, j := range g {
+			rjobs[i] = rcnet.TraceJob{
+				Temp:        jobs[j].Temps,
+				Schedule:    k.m.nodeSchedule(jobs[j].Schedule),
+				Duration:    jobs[j].Duration,
+				SampleEvery: jobs[j].SampleEvery,
+			}
+		}
+		samples, serrs := k.m.solver.ReplayLockstep(rjobs)
+		for i, j := range g {
+			if serrs[i] != nil {
+				errs[j] = serrs[i]
+				continue
+			}
+			results[j] = k.m.tracePoints(samples[i])
+		}
+	}
 }
 
 // validateSweepJob checks a sweep job's model, replay window, schedule and

@@ -3,23 +3,32 @@ package linalg
 import (
 	"errors"
 	"fmt"
-	"math/bits"
+	"runtime"
 	"sort"
+	"sync"
+
+	"repro/internal/pool"
 )
 
-// This file implements the sparse direct solver backend: a fill-reducing
-// ordering (reverse Cuthill-McKee), symbolic analysis (elimination tree and
-// exact column counts), an up-looking LDLᵀ factorization on the permuted
-// matrix, and permuted forward/diagonal/backward triangular solves. See
-// DESIGN.md §7.
+// This file implements the sparse direct solver backend: an approximate-
+// minimum-degree fill-reducing ordering (amd.go), symbolic analysis
+// (elimination tree, exact column counts, supernode partition), a supernodal
+// blocked LDLᵀ factorization with dense panel kernels, and blocked
+// triangular solves for one or many right-hand sides. See DESIGN.md §7–§8.
 //
-// The split between symbolic and numeric phases is the load-bearing design
-// decision: the symbolic analysis depends only on the off-diagonal sparsity
-// pattern, so a backward-Euler operator (C/dt + A) derived via Shift — which
-// touches only the diagonal — reuses the ordering, elimination tree and
-// column pointers of the conductance operator and pays for a numeric
-// refactorization alone. A long transient then costs one numeric factor per
-// distinct dt plus two triangular sweeps per step.
+// Two design decisions carry the backend:
+//
+//   - The split between symbolic and numeric phases: the symbolic analysis
+//     depends only on the off-diagonal sparsity pattern, so a backward-Euler
+//     operator (C/dt + A) derived via Shift — which touches only the
+//     diagonal — reuses the ordering, elimination tree, supernode partition
+//     and update schedule of the conductance operator and pays for a numeric
+//     refactorization alone.
+//   - Supernodes: consecutive columns with nested sparsity share one dense
+//     panel, so both the factorization and every solve run dense
+//     column-major kernels over contiguous memory and amortize each row-
+//     index lookup across the panel width (and, in SolveBatch, across K
+//     right-hand sides), instead of scattering entry by entry.
 
 // ErrNotSPD is returned (wrapped) when an LDLᵀ factorization meets a
 // non-positive pivot: the matrix is not positive definite, or is numerically
@@ -37,10 +46,10 @@ var ErrCholeskyFill = errors.New("linalg: Cholesky factor fill exceeds cap")
 // a structurally or numerically asymmetric matrix.
 var ErrNotSymmetric = errors.New("linalg: matrix is not symmetric")
 
-// CholeskyBackend assembles sparse direct LDLᵀ-factored operators with a
-// reverse Cuthill-McKee fill-reducing ordering. Factorization happens
-// eagerly, so non-SPD and singular systems are reported at Assemble. The
-// zero value applies no fill cap.
+// CholeskyBackend assembles sparse direct LDLᵀ-factored operators with an
+// approximate-minimum-degree fill-reducing ordering and a supernodal blocked
+// factorization. Factorization happens eagerly, so non-SPD and singular
+// systems are reported at Assemble. The zero value applies no fill cap.
 type CholeskyBackend struct {
 	// MaxFillRatio, when positive, aborts Assemble with ErrCholeskyFill if
 	// nnz(L+D+Lᵀ) exceeds MaxFillRatio × nnz(A). Auto-selecting callers use
@@ -78,7 +87,7 @@ func NewCholeskyOperator(m *CSR, maxFillRatio float64) (*CholeskyOperator, error
 				ErrCholeskyFill, fill, maxFillRatio, sym.nnzL)
 		}
 	}
-	f, err := factorLDL(m, sym)
+	f, err := factorSupernodal(m, sym)
 	if err != nil {
 		return nil, err
 	}
@@ -105,12 +114,28 @@ func checkSymmetric(m *CSR) error {
 	return nil
 }
 
+// maxPanelWidth caps the supernode width. Wider panels amortize more of
+// the factorization's per-panel bookkeeping but grow the dense O(w²·rows)
+// panel work and the frontal working set; 32 columns keeps even the dense
+// root supernode of a 100k-node grid inside L2. See DESIGN.md §8.2.
+const maxPanelWidth = 32
+
+// snRelax bounds relaxed amalgamation: a supernode merges into its
+// assembly-tree parent only while the explicit zeros introduced stay below
+// this fraction of the merged panel. Thermal networks factor into thousands
+// of 1–2 column fundamental supernodes (≈6 entries per column), where the
+// factorization's per-panel bookkeeping costs as much as the arithmetic;
+// the zeros are confined to the panels (solve paths traverse zero-dropped
+// compressed views), so relaxation taxes only the numeric factorization it
+// speeds up. See DESIGN.md §8.2.
+const snRelax = 0.25
+
 // cholSymbolic is the reusable symbolic analysis of one sparsity pattern:
 // the fill-reducing permutation, the elimination tree of the permuted
-// matrix, and the factor's column pointers. It is immutable once built and
-// shared by every numeric factorization of a matrix with the same
-// off-diagonal pattern (the conductance operator and all its backward-Euler
-// shifts).
+// matrix, the factor's column counts, and the supernode partition with its
+// update schedule. It is immutable once built and shared by every numeric
+// factorization of a matrix with the same off-diagonal pattern (the
+// conductance operator and all its backward-Euler shifts).
 type cholSymbolic struct {
 	n      int
 	perm   []int // perm[k] = original index of the k-th pivot
@@ -118,6 +143,31 @@ type cholSymbolic struct {
 	parent []int // elimination tree of P·A·Pᵀ
 	colPtr []int // factor column pointers, len n+1 (strictly-lower entries)
 	nnzL   int   // total strictly-lower entries in L
+
+	// Supernode partition: supernode s covers permuted columns
+	// [snStart[s], snStart[s+1]); its columns share the strictly-below row
+	// pattern rows[s] (ascending). Panels live in one flat value array at
+	// panelPtr[s], column-major, (width + len(rows)) rows per column.
+	snStart  []int32
+	snOf     []int32   // permuted column → supernode
+	rows     [][]int32 // per-supernode below-diagonal row pattern
+	panelPtr []int
+	panelLen int
+
+	// slotCap is the total strictly-lower panel slot count (true entries
+	// plus relaxation zeros) — the capacity bound for a factor's
+	// compressed-column view.
+	slotCap int
+	maxW     int // widest panel
+	maxNR    int // tallest panel (width + below rows)
+
+	// updaters[s] lists the supernodes whose row pattern intersects s's
+	// columns, ascending — exactly the panels whose outer products must be
+	// subtracted from s's panel, applied in this (deterministic) order.
+	// levels is a topological level schedule over that DAG: supernodes
+	// within a level touch disjoint panels and parallelize freely.
+	updaters [][]int32
+	levels   [][]int32
 }
 
 // NNZL returns the number of strictly-lower-triangular entries in the
@@ -129,30 +179,22 @@ func (s *cholSymbolic) FillRatio(m *CSR) float64 {
 	return float64(2*s.nnzL+s.n) / float64(max(m.NNZ(), 1))
 }
 
-// mdMaxN bounds the minimum-degree ordering: its dense-bitset adjacency
-// costs n²/8 bytes and an O(n²) pivot scan, both fine to ~4k unknowns and
-// ruinous at reference-grid scale. Larger systems order with RCM (linear
-// memory), though in this repository those run on the CG backend anyway.
-const mdMaxN = 4096
-
-// fillOrder picks the fill-reducing ordering: greedy minimum degree where
-// the quadratic bookkeeping is affordable (it roughly halves the factor
-// size of floorplan networks versus RCM — measured in DESIGN.md §7.2), RCM
-// beyond.
+// fillOrder picks the fill-reducing ordering: quotient-graph approximate
+// minimum degree (amd.go), which runs in near-linear memory at any size.
+// (PR 4's dense-bitset greedy minimum degree was capped at 4096 unknowns;
+// rcmOrder survives as the quality baseline in the ordering tests.)
 func fillOrder(m *CSR) []int {
-	if m.N <= mdMaxN {
-		return mdOrder(m)
-	}
-	return rcmOrder(m)
+	return amdOrder(m)
 }
 
 // analyzeCholesky runs the symbolic phase: fill-reducing ordering,
-// elimination tree and exact per-column counts of the factor (the classic
-// refinement walk: for every strictly-upper entry of permuted column k,
-// climb the tree until reaching a node already marked this step).
+// elimination tree, exact per-column counts (the classic refinement walk:
+// for every strictly-upper entry of permuted column k, climb the tree until
+// reaching a node already marked this step), then the supernode partition,
+// per-supernode row patterns and the update schedule.
 func analyzeCholesky(m *CSR) *cholSymbolic {
 	n := m.N
-	perm := fillOrder(m)
+	perm := postorderPerm(m, fillOrder(m))
 	iperm := make([]int, n)
 	for k, p := range perm {
 		iperm[p] = k
@@ -182,25 +224,734 @@ func analyzeCholesky(m *CSR) *cholSymbolic {
 	for i := 0; i < n; i++ {
 		colPtr[i+1] = colPtr[i] + counts[i]
 	}
-	return &cholSymbolic{n: n, perm: perm, iperm: iperm, parent: parent, colPtr: colPtr, nnzL: colPtr[n]}
+	sym := &cholSymbolic{n: n, perm: perm, iperm: iperm, parent: parent, colPtr: colPtr, nnzL: colPtr[n]}
+	sym.partitionSupernodes(m, counts)
+	return sym
 }
 
-// cholFactor is one numeric LDLᵀ factorization over a shared symbolic
-// analysis. L is unit-lower-triangular, stored by columns (strictly-lower
-// entries only); invD is the inverted diagonal of D.
+// postorderPerm relabels a fill-reducing permutation along a postorder of
+// its elimination tree. A postorder is an equivalent elimination order (the
+// tree, the fill and the factor values up to relabeling are unchanged), but
+// it makes every subtree — in particular every chain — occupy consecutive
+// columns, which is what lets fundamental supernodes grow and relaxed
+// amalgamation find its parent right next door. Deterministic: children are
+// visited in ascending order, components in index order.
+func postorderPerm(m *CSR, perm []int) []int {
+	n := m.N
+	if n <= 1 {
+		return perm
+	}
+	iperm := make([]int, n)
+	for k, p := range perm {
+		iperm[p] = k
+	}
+	// Elimination tree by the ancestor-shortcut walk (Liu): near-linear.
+	parent := make([]int, n)
+	ancestor := make([]int, n)
+	for k := 0; k < n; k++ {
+		parent[k] = -1
+		ancestor[k] = -1
+		row := perm[k]
+		for p := m.RowPtr[row]; p < m.RowPtr[row+1]; p++ {
+			i := iperm[m.ColIdx[p]]
+			for i != -1 && i < k {
+				next := ancestor[i]
+				ancestor[i] = k
+				if next == -1 {
+					parent[i] = k
+				}
+				i = next
+			}
+		}
+	}
+	// Children lists in ascending order (iterate k descending, push front).
+	childHead := make([]int32, n)
+	childNext := make([]int32, n)
+	for i := range childHead {
+		childHead[i] = -1
+	}
+	for k := n - 1; k >= 0; k-- {
+		if p := parent[k]; p >= 0 {
+			childNext[k] = childHead[p]
+			childHead[p] = int32(k)
+		}
+	}
+	// Iterative postorder DFS over every root.
+	post := make([]int, 0, n)
+	stack := make([]int32, 0, 64)
+	expanded := make([]bool, n)
+	for r := n - 1; r >= 0; r-- { // roots pushed descending → visited ascending
+		if parent[r] == -1 {
+			stack = append(stack, int32(r))
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		if expanded[v] {
+			stack = stack[:len(stack)-1]
+			post = append(post, int(v))
+			continue
+		}
+		expanded[v] = true
+		// Push children in descending order so they pop ascending.
+		from := len(stack)
+		for c := childHead[v]; c >= 0; c = childNext[c] {
+			stack = append(stack, c)
+		}
+		for l, r := from, len(stack)-1; l < r; l, r = l+1, r-1 {
+			stack[l], stack[r] = stack[r], stack[l]
+		}
+	}
+	out := make([]int, n)
+	for i, k := range post {
+		out[i] = perm[k]
+	}
+	return out
+}
+
+// partitionSupernodes detects fundamental supernodes (column j extends the
+// supernode of j−1 when j is j−1's elimination-tree parent and the column
+// counts nest exactly — then the two columns share their below-diagonal
+// pattern), materializes each supernode's row pattern with a second
+// refinement walk, relaxes the partition by amalgamating small supernodes
+// into their assembly-tree parents, and builds the deterministic update
+// schedule.
+func (sym *cholSymbolic) partitionSupernodes(m *CSR, counts []int) {
+	n := sym.n
+	// Fundamental boundaries.
+	fStart := []int32{0}
+	for j := 1; j < n; j++ {
+		w := j - int(fStart[len(fStart)-1])
+		if sym.parent[j-1] == j && counts[j-1] == counts[j]+1 && w < maxPanelWidth {
+			continue
+		}
+		fStart = append(fStart, int32(j))
+	}
+	fStart = append(fStart, int32(n))
+	fs := len(fStart) - 1
+	fOf := make([]int32, n)
+	for s := 0; s < fs; s++ {
+		for j := fStart[s]; j < fStart[s+1]; j++ {
+			fOf[j] = int32(s)
+		}
+	}
+
+	// Fundamental row patterns: re-run the refinement walk; when the walk
+	// visits the last column of a supernode for row k, k is in that
+	// supernode's shared below pattern. Rows arrive in ascending k order.
+	fRows := make([][]int32, fs)
+	for s := 0; s < fs; s++ {
+		last := int(fStart[s+1]) - 1
+		fRows[s] = make([]int32, 0, counts[last])
+	}
+	lastOf := make([]bool, n)
+	for s := 0; s < fs; s++ {
+		lastOf[fStart[s+1]-1] = true
+	}
+	flag := make([]int, n)
+	for i := range flag {
+		flag[i] = -1
+	}
+	for k := 0; k < n; k++ {
+		flag[k] = k
+		row := sym.perm[k]
+		for p := m.RowPtr[row]; p < m.RowPtr[row+1]; p++ {
+			i := sym.iperm[m.ColIdx[p]]
+			for ; i < k && flag[i] != k; i = sym.parent[i] {
+				if lastOf[i] {
+					fRows[fOf[i]] = append(fRows[fOf[i]], int32(k))
+				}
+				flag[i] = k
+			}
+		}
+	}
+
+	// Relaxed amalgamation, left to right: merge the running supernode into
+	// the next one exactly when the next owns the running pattern's first
+	// below-row (its assembly-tree parent — then by the column-nesting
+	// theorem the merged below pattern is precisely the next supernode's,
+	// so every row list stays a true column pattern and the update-schedule
+	// containment argument is untouched), the width cap holds, and the
+	// explicit zeros introduced stay under snRelax of the merged panel.
+	// Merged columns whose true pattern is smaller than the panel simply
+	// carry exact-zero factor entries: values, solves and batch/sequential
+	// parity are unchanged, only the flop count grows — the price paid for
+	// panels wide enough to amortize their bookkeeping.
+	trueNNZ := func(s int) int {
+		w := int(fStart[s+1] - fStart[s])
+		return w*(w-1)/2 + w*len(fRows[s])
+	}
+	sym.snStart = append(sym.snStart, 0)
+	sym.rows = sym.rows[:0]
+	curW := int(fStart[1] - fStart[0])
+	curRows := fRows[0]
+	curTrue := trueNNZ(0)
+	for t := 1; t < fs; t++ {
+		wNext := int(fStart[t+1] - fStart[t])
+		mergedW := curW + wNext
+		canMerge := len(curRows) > 0 && curRows[0] < fStart[t+1] && mergedW <= maxPanelWidth
+		if canMerge {
+			panel := mergedW*(mergedW-1)/2 + mergedW*len(fRows[t])
+			mergedTrue := curTrue + trueNNZ(t)
+			canMerge = float64(panel-mergedTrue) <= snRelax*float64(panel)
+		}
+		if canMerge {
+			curW = mergedW
+			curRows = fRows[t]
+			curTrue += trueNNZ(t)
+			continue
+		}
+		sym.snStart = append(sym.snStart, fStart[t])
+		sym.rows = append(sym.rows, curRows)
+		curW = wNext
+		curRows = fRows[t]
+		curTrue = trueNNZ(t)
+	}
+	sym.snStart = append(sym.snStart, int32(n))
+	sym.rows = append(sym.rows, curRows)
+	ns := len(sym.snStart) - 1
+	sym.snOf = make([]int32, n)
+	for s := 0; s < ns; s++ {
+		for j := sym.snStart[s]; j < sym.snStart[s+1]; j++ {
+			sym.snOf[j] = int32(s)
+		}
+	}
+
+	// Capacity of a factor's compressed-column view.
+	sym.slotCap = 0
+	for s := 0; s < ns; s++ {
+		c0, c1 := int(sym.snStart[s]), int(sym.snStart[s+1])
+		w := c1 - c0
+		sym.slotCap += w*(w-1)/2 + w*len(sym.rows[s])
+	}
+
+	// Panel offsets and scratch bounds.
+	sym.panelPtr = make([]int, ns+1)
+	for s := 0; s < ns; s++ {
+		w := int(sym.snStart[s+1] - sym.snStart[s])
+		nb := len(sym.rows[s])
+		nr := w + nb
+		sym.panelPtr[s+1] = sym.panelPtr[s] + nr*w
+		if w > sym.maxW {
+			sym.maxW = w
+		}
+		if nr > sym.maxNR {
+			sym.maxNR = nr
+		}
+	}
+	sym.panelLen = sym.panelPtr[ns]
+
+	// Update schedule: supernode d updates every supernode owning one of
+	// its rows in column range. Rows are sorted and supernodes are
+	// contiguous column ranges, so same-target rows are consecutive;
+	// iterating d ascending leaves each updaters list ascending.
+	sym.updaters = make([][]int32, ns)
+	for d := 0; d < ns; d++ {
+		lastS := int32(-1)
+		for _, r := range sym.rows[d] {
+			s := sym.snOf[r]
+			if s != lastS {
+				sym.updaters[s] = append(sym.updaters[s], int32(d))
+				lastS = s
+			}
+		}
+	}
+
+	// Level schedule: level(s) = 1 + max level of its updaters (all of
+	// which precede s). Supernodes within a level have all dependencies in
+	// earlier levels and factor in parallel.
+	level := make([]int32, ns)
+	maxLevel := int32(0)
+	for s := 0; s < ns; s++ {
+		lv := int32(0)
+		for _, d := range sym.updaters[s] {
+			if l := level[d] + 1; l > lv {
+				lv = l
+			}
+		}
+		level[s] = lv
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	sym.levels = make([][]int32, maxLevel+1)
+	for s := 0; s < ns; s++ {
+		sym.levels[level[s]] = append(sym.levels[level[s]], int32(s))
+	}
+}
+
+// Supernodes returns the number of panels in the partition.
+func (s *cholSymbolic) Supernodes() int { return len(s.snStart) - 1 }
+
+// cholFactor is one numeric supernodal LDLᵀ factorization over a shared
+// symbolic analysis: all panels in one flat column-major array, plus a
+// compressed-column copy of the nonzero entries (cptr/crows/cvals) that
+// single-RHS sweeps traverse — panel traversal only pays off when K columns
+// share it, and the compression drops every relaxation zero from the
+// single-solve flop count. d holds the pivots of D, invD their inverses
+// (for the solve's fused diagonal scale). L is unit-lower-triangular; the
+// diagonal slots inside panels are scratch.
 type cholFactor struct {
+	vals  []float64
+	cptr  []int32 // compressed columns (backward sweep)
+	crows []int32
+	cvals []float64
+	rptr  []int32 // compressed rows (forward sweep: gather form, better ILP)
+	rcols []int32
+	rvals []float64
+	d     []float64
+	invD  []float64
+}
+
+// parallelFactorMinN gates the level-parallel factorization: below this the
+// per-level barrier costs more than the panels, and the serial sweep is
+// already cache-resident. The numeric result is bit-identical either way —
+// panels are written disjointly and each panel applies its updates in the
+// same deterministic order.
+const parallelFactorMinN = 2048
+
+// snScratch is the per-worker factorization scratch: the global-row → panel-
+// row map for the current target panel and the update accumulation buffer.
+type snScratch struct {
+	rowLoc []int32
+	wbuf   []float64
+}
+
+func newSnScratch(sym *cholSymbolic) *snScratch {
+	return &snScratch{rowLoc: make([]int32, sym.n), wbuf: make([]float64, sym.maxNR)}
+}
+
+// factorSupernodal runs the numeric phase: every supernode assembles its
+// panel from the permuted matrix, subtracts the outer-product updates of
+// earlier panels (accumulated densely in a work buffer, then scattered once
+// per target column), and factors the panel with dense left-looking LDLᵀ
+// kernels. Supernodes are scheduled level by level across the worker pool on
+// large systems; each panel's arithmetic is identical in serial and parallel
+// runs, so factors are bit-stable at any GOMAXPROCS.
+func factorSupernodal(m *CSR, sym *cholSymbolic) (*cholFactor, error) {
+	n := sym.n
+	f := &cholFactor{
+		vals: make([]float64, sym.panelLen),
+		d:    make([]float64, n),
+		invD: make([]float64, n),
+	}
+	ns := sym.Supernodes()
+	if n < parallelFactorMinN || runtime.GOMAXPROCS(0) == 1 {
+		ws := newSnScratch(sym)
+		for s := 0; s < ns; s++ {
+			if err := factorPanel(m, sym, f, int32(s), ws); err != nil {
+				return nil, err
+			}
+		}
+		f.compress(sym)
+		return f, nil
+	}
+	errs := make([]error, ns)
+	// Worker scratch is pooled across levels: a deep schedule would
+	// otherwise allocate levels×workers n-sized buffers per factorization.
+	var scratch sync.Pool
+	scratch.New = func() any { return newSnScratch(sym) }
+	for _, lvl := range sym.levels {
+		pool.Run(len(lvl), 0, func() func(int) {
+			return func(i int) {
+				ws := scratch.Get().(*snScratch)
+				s := lvl[i]
+				errs[s] = factorPanel(m, sym, f, s, ws)
+				scratch.Put(ws)
+			}
+		})
+		for _, s := range lvl {
+			if errs[s] != nil {
+				return nil, errs[s] // lowest-column failure of the level
+			}
+		}
+	}
+	f.compress(sym)
+	return f, nil
+}
+
+// compress mirrors the finished panels into the compressed-column view the
+// single-RHS sweeps traverse, dropping zero entries — both the explicit
+// zeros relaxation introduced (so they cost panel flops only where K
+// right-hand sides amortize them) and any true-pattern entries that
+// cancelled to zero in this particular factor (skipping a zero subtraction
+// never changes a solve).
+func (f *cholFactor) compress(sym *cholSymbolic) {
+	f.cptr = make([]int32, sym.n+1)
+	f.crows = make([]int32, 0, sym.slotCap)
+	f.cvals = make([]float64, 0, sym.slotCap)
+	ns := sym.Supernodes()
+	for s := 0; s < ns; s++ {
+		c0 := int(sym.snStart[s])
+		c1 := int(sym.snStart[s+1])
+		w := c1 - c0
+		rows := sym.rows[s]
+		nr := w + len(rows)
+		P := f.vals[sym.panelPtr[s]:]
+		for j := 0; j < w; j++ {
+			col := P[j*nr : (j+1)*nr]
+			for i := j + 1; i < w; i++ {
+				if v := col[i]; v != 0 {
+					f.crows = append(f.crows, int32(c0+i))
+					f.cvals = append(f.cvals, v)
+				}
+			}
+			for r, v := range col[w:] {
+				if v != 0 {
+					f.crows = append(f.crows, rows[r])
+					f.cvals = append(f.cvals, v)
+				}
+			}
+			f.cptr[c0+j+1] = int32(len(f.crows))
+		}
+	}
+	// Row-form transpose for the forward sweep: entry lists per row, columns
+	// ascending (deterministic counting sort). A gather-form forward runs at
+	// the backward sweep's speed — independent loads into one accumulator —
+	// where the column-scatter form stalls on store-to-load forwarding.
+	nnz := len(f.crows)
+	f.rptr = make([]int32, sym.n+1)
+	for _, r := range f.crows {
+		f.rptr[r+1]++
+	}
+	for i := 0; i < sym.n; i++ {
+		f.rptr[i+1] += f.rptr[i]
+	}
+	f.rcols = make([]int32, nnz)
+	f.rvals = make([]float64, nnz)
+	next := make([]int32, sym.n)
+	copy(next, f.rptr[:sym.n])
+	for j := 0; j < sym.n; j++ {
+		p1 := f.cptr[j+1]
+		for p := f.cptr[j]; p < p1; p++ {
+			r := f.crows[p]
+			q := next[r]
+			next[r]++
+			f.rcols[q] = int32(j)
+			f.rvals[q] = f.cvals[p]
+		}
+	}
+}
+
+// factorPanel assembles and factors one supernode's panel. All reads from
+// other panels are to supernodes scheduled in earlier levels.
+func factorPanel(m *CSR, sym *cholSymbolic, f *cholFactor, s int32, ws *snScratch) error {
+	c0 := int(sym.snStart[s])
+	c1 := int(sym.snStart[s+1])
+	w := c1 - c0
+	rows := sym.rows[s]
+	nb := len(rows)
+	nr := w + nb
+	P := f.vals[sym.panelPtr[s] : sym.panelPtr[s]+nr*w]
+
+	rowLoc := ws.rowLoc
+	for j := c0; j < c1; j++ {
+		rowLoc[j] = int32(j - c0)
+	}
+	for q, r := range rows {
+		rowLoc[r] = int32(w + q)
+	}
+
+	// Assemble the lower part of the permuted matrix columns.
+	for j := c0; j < c1; j++ {
+		col := P[(j-c0)*nr:]
+		row := sym.perm[j]
+		for p := m.RowPtr[row]; p < m.RowPtr[row+1]; p++ {
+			if i := sym.iperm[m.ColIdx[p]]; i >= j {
+				col[rowLoc[i]] += m.Values[p]
+			}
+		}
+	}
+
+	// Outer-product updates from earlier panels, ascending supernode order.
+	for _, d := range sym.updaters[s] {
+		dc0 := int(sym.snStart[d])
+		dw := int(sym.snStart[d+1]) - dc0
+		rd := sym.rows[d]
+		dnr := dw + len(rd)
+		Pd := f.vals[sym.panelPtr[d]:]
+		a := lowerBound32(rd, int32(c0))
+		mEnd := lowerBound32(rd, int32(c1))
+		for q := a; q < mEnd; q++ {
+			// Target column rows[d][q] of this panel; all of d's rows from q
+			// on land inside the panel (pattern nesting).
+			cj := int(rd[q]) - c0
+			ln := len(rd) - q
+			wb := ws.wbuf[:ln]
+			for x := range wb {
+				wb[x] = 0
+			}
+			for t := 0; t < dw; t++ {
+				src := Pd[t*dnr+dw+q : t*dnr+dw+len(rd)]
+				alpha := src[0] * f.d[dc0+t] // L[j,t]·d_t
+				if alpha == 0 {
+					continue
+				}
+				for x, v := range src {
+					wb[x] += v * alpha
+				}
+			}
+			dst := P[cj*nr:]
+			for x, v := range wb {
+				dst[rowLoc[rd[q+x]]] -= v
+			}
+		}
+	}
+
+	// Dense left-looking LDLᵀ on the panel.
+	for j := 0; j < w; j++ {
+		colj := P[j*nr : (j+1)*nr]
+		for t := 0; t < j; t++ {
+			colt := P[t*nr : (t+1)*nr]
+			alpha := colt[j] * f.d[c0+t]
+			if alpha == 0 {
+				continue
+			}
+			for i := j; i < nr; i++ {
+				colj[i] -= colt[i] * alpha
+			}
+		}
+		dj := colj[j]
+		if dj <= 0 {
+			return fmt.Errorf("%w: pivot %d (node %d) is %g", ErrNotSPD, c0+j, sym.perm[c0+j], dj)
+		}
+		f.d[c0+j] = dj
+		inv := 1 / dj
+		f.invD[c0+j] = inv
+		for i := j + 1; i < nr; i++ {
+			colj[i] *= inv
+		}
+	}
+	return nil
+}
+
+// lowerBound32 returns the first index of a (sorted ascending) with
+// a[i] >= x.
+func lowerBound32(a []int32, x int32) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// CholeskyOperator is a sparse direct supernodal LDLᵀ-factored Operator.
+// Immutable after construction and safe for concurrent solves
+// (per-goroutine scratch comes from the Workspace).
+type CholeskyOperator struct {
+	m   *CSR
+	sym *cholSymbolic
+	f   *cholFactor
+}
+
+// Matrix exposes the underlying CSR (read-only).
+func (c *CholeskyOperator) Matrix() *CSR { return c.m }
+
+// NNZL returns the strictly-lower-triangular entry count of the factor.
+func (c *CholeskyOperator) NNZL() int { return c.sym.nnzL }
+
+// FillRatio reports nnz(L+D+Lᵀ) / nnz(A) for the factorization.
+func (c *CholeskyOperator) FillRatio() float64 { return c.sym.FillRatio(c.m) }
+
+// Supernodes returns the number of panels in the factor.
+func (c *CholeskyOperator) Supernodes() int { return c.sym.Supernodes() }
+
+// MaxPanelRows returns the tallest panel's row count (supernode width plus
+// below-diagonal rows) — the working-set headline of the factor.
+func (c *CholeskyOperator) MaxPanelRows() int { return c.sym.maxNR }
+
+// Dim implements Operator.
+func (c *CholeskyOperator) Dim() int { return c.m.N }
+
+// Apply implements Operator.
+func (c *CholeskyOperator) Apply(x, dst []float64) {
+	if len(dst) != c.m.N {
+		panic("linalg: cholesky Apply dimension mismatch")
+	}
+	c.m.MulVec(x, dst)
+}
+
+// Solve implements Operator: permute, forward-substitute through L panel by
+// panel, scale by D⁻¹, back-substitute through Lᵀ, permute back. Exact
+// (direct), so the warm start is ignored. Allocation-free when both dst and
+// ws are provided; dst may alias b.
+func (c *CholeskyOperator) Solve(b, _, dst []float64, ws *Workspace) ([]float64, error) {
+	n := c.m.N
+	if len(b) != n {
+		panic("linalg: cholesky Solve dimension mismatch")
+	}
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	if dst == nil {
+		dst = make([]float64, n)
+	}
+	ws.LastIterations = 0
+	y := ws.direct(n)
+	perm := c.sym.perm
+	f := c.f
+	// Forward sweep in row-gather form with the right-hand-side permute
+	// fused in: y[j] = b[perm[j]] − Σ_{i<j} L[j,i]·y[i]. Per factor entry
+	// this is the same subtraction, in the same (ascending-column) order, as
+	// a column-scatter sweep — so results are bit-identical to the batched
+	// panel path — but the loads are independent and pipeline freely.
+	rptr, rcols, rvals := f.rptr, f.rcols, f.rvals
+	for j := 0; j < n; j++ {
+		sum := b[perm[j]]
+		p1 := rptr[j+1]
+		for p := rptr[j]; p < p1; p++ {
+			sum -= rvals[p] * y[rcols[p]]
+		}
+		y[j] = sum
+	}
+	// Backward sweep over the compressed columns with the D⁻¹ scale and the
+	// output permute fused: by the time column j is processed, every y it
+	// reads is final.
+	cptr, crows, cvals, invD := f.cptr, f.crows, f.cvals, f.invD
+	for j := n - 1; j >= 0; j-- {
+		sum := y[j] * invD[j]
+		p1 := cptr[j+1]
+		for p := cptr[j]; p < p1; p++ {
+			sum -= cvals[p] * y[crows[p]]
+		}
+		y[j] = sum
+		dst[perm[j]] = sum
+	}
+	return dst, nil
+}
+
+// SolveBatch implements Operator: right-hand sides are solved four per
+// factor traversal through a register-blocked kernel (the remainder runs
+// through the single-column path). Each column's arithmetic — entry order,
+// fused permutes, fused D⁻¹ — is exactly the single Solve kernel's, so
+// batched and sequential results are bit-identical; the batch only
+// amortizes every factor-entry and index load over four systems.
+// Allocation-free when dst and ws are provided; dst[k] may alias b[k].
+func (c *CholeskyOperator) SolveBatch(b, _, dst [][]float64, ws *Workspace) ([][]float64, error) {
+	n := c.m.N
+	kk := len(b)
+	if kk == 0 {
+		return dst, nil
+	}
+	for _, bk := range b {
+		if len(bk) != n {
+			panic("linalg: cholesky SolveBatch dimension mismatch")
+		}
+	}
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	if dst == nil {
+		dst = make([][]float64, kk)
+	}
+	for k := range dst {
+		if dst[k] == nil {
+			dst[k] = make([]float64, n)
+		}
+	}
+	ws.LastIterations = 0
+	k := 0
+	for ; k+4 <= kk; k += 4 {
+		c.solve4(b[k], b[k+1], b[k+2], b[k+3], dst[k], dst[k+1], dst[k+2], dst[k+3], ws)
+	}
+	for ; k < kk; k++ {
+		if _, err := c.Solve(b[k], nil, dst[k], ws); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// solve4 runs the fused forward/backward sweeps for four right-hand sides at
+// once: the four working vectors interleave (yb[4j..4j+3] is unknown j), so
+// every factor entry loads once and updates four accumulators sitting in
+// registers. Per-column arithmetic is identical to Solve.
+func (c *CholeskyOperator) solve4(b0, b1, b2, b3, x0, x1, x2, x3 []float64, ws *Workspace) {
+	n := c.m.N
+	yb := ws.batchBuf(n * 4)
+	f := c.f
+	perm := c.sym.perm
+	rptr, rcols, rvals := f.rptr, f.rcols, f.rvals
+	for j := 0; j < n; j++ {
+		pj := perm[j]
+		s0, s1, s2, s3 := b0[pj], b1[pj], b2[pj], b3[pj]
+		p1 := rptr[j+1]
+		for p := rptr[j]; p < p1; p++ {
+			ri := int(rcols[p]) * 4
+			v := rvals[p]
+			s0 -= v * yb[ri]
+			s1 -= v * yb[ri+1]
+			s2 -= v * yb[ri+2]
+			s3 -= v * yb[ri+3]
+		}
+		o := j * 4
+		yb[o], yb[o+1], yb[o+2], yb[o+3] = s0, s1, s2, s3
+	}
+	cptr, crows, cvals, invD := f.cptr, f.crows, f.cvals, f.invD
+	for j := n - 1; j >= 0; j-- {
+		o := j * 4
+		d := invD[j]
+		s0, s1, s2, s3 := yb[o]*d, yb[o+1]*d, yb[o+2]*d, yb[o+3]*d
+		p1 := cptr[j+1]
+		for p := cptr[j]; p < p1; p++ {
+			ri := int(crows[p]) * 4
+			v := cvals[p]
+			s0 -= v * yb[ri]
+			s1 -= v * yb[ri+1]
+			s2 -= v * yb[ri+2]
+			s3 -= v * yb[ri+3]
+		}
+		yb[o], yb[o+1], yb[o+2], yb[o+3] = s0, s1, s2, s3
+		pj := perm[j]
+		x0[pj], x1[pj], x2[pj], x3[pj] = s0, s1, s2, s3
+	}
+}
+
+// Shift implements Operator. The shift touches only the diagonal, so the
+// returned operator reuses the receiver's symbolic analysis (ordering,
+// elimination tree, supernode partition, update schedule) and pays for a
+// numeric refactorization only. This is the factor-cache contract
+// backward-Euler stepping relies on.
+func (c *CholeskyOperator) Shift(diag []float64) (Operator, error) {
+	if len(diag) != c.m.N {
+		return nil, fmt.Errorf("linalg: Shift dimension mismatch %d vs %d", c.m.N, len(diag))
+	}
+	m2 := c.m.Shifted(diag)
+	f, err := factorSupernodal(m2, c.sym)
+	if err != nil {
+		return nil, err
+	}
+	return &CholeskyOperator{m: m2, sym: c.sym, f: f}, nil
+}
+
+// Diag implements Operator.
+func (c *CholeskyOperator) Diag() []float64 { return c.m.Diagonal() }
+
+// Iterative implements Operator: the solve is direct.
+func (c *CholeskyOperator) Iterative() bool { return false }
+
+// --- scalar reference kernel ---
+
+// scalarFactor is the PR 4 column-at-a-time LDLᵀ factorization, retained as
+// the in-package parity oracle for the supernodal kernels: same symbolic
+// analysis, scalar up-looking numeric phase, per-entry triangular solves.
+type scalarFactor struct {
 	rowIdx []int
 	values []float64
 	invD   []float64
 }
 
-// factorLDL runs the up-looking numeric phase on the permuted matrix: row k
-// of L is the solution of a sparse triangular system whose pattern is read
-// off the elimination tree. Rejects non-positive pivots (not SPD, or
-// numerically singular).
-func factorLDL(m *CSR, sym *cholSymbolic) (*cholFactor, error) {
+// factorScalarLDL runs the up-looking numeric phase on the permuted matrix:
+// row k of L is the solution of a sparse triangular system whose pattern is
+// read off the elimination tree. Rejects non-positive pivots.
+func factorScalarLDL(m *CSR, sym *cholSymbolic) (*scalarFactor, error) {
 	n := sym.n
-	f := &cholFactor{
+	f := &scalarFactor{
 		rowIdx: make([]int, sym.nnzL),
 		values: make([]float64, sym.nnzL),
 		invD:   make([]float64, n),
@@ -261,176 +1012,37 @@ func factorLDL(m *CSR, sym *cholSymbolic) (*cholFactor, error) {
 	return f, nil
 }
 
-// CholeskyOperator is a sparse direct LDLᵀ-factored Operator. Immutable
-// after construction and safe for concurrent solves (per-goroutine scratch
-// comes from the Workspace).
-type CholeskyOperator struct {
-	m   *CSR
-	sym *cholSymbolic
-	f   *cholFactor
-}
-
-// Matrix exposes the underlying CSR (read-only).
-func (c *CholeskyOperator) Matrix() *CSR { return c.m }
-
-// NNZL returns the strictly-lower-triangular entry count of the factor.
-func (c *CholeskyOperator) NNZL() int { return c.sym.nnzL }
-
-// FillRatio reports nnz(L+D+Lᵀ) / nnz(A) for the factorization.
-func (c *CholeskyOperator) FillRatio() float64 { return c.sym.FillRatio(c.m) }
-
-// Dim implements Operator.
-func (c *CholeskyOperator) Dim() int { return c.m.N }
-
-// Apply implements Operator.
-func (c *CholeskyOperator) Apply(x, dst []float64) {
-	if len(dst) != c.m.N {
-		panic("linalg: cholesky Apply dimension mismatch")
-	}
-	c.m.MulVec(x, dst)
-}
-
-// Solve implements Operator: permute, forward-substitute through L, scale by
-// D⁻¹, back-substitute through Lᵀ, permute back. Exact (direct), so the warm
-// start is ignored. Allocation-free when both dst and ws are provided; dst
-// may alias b.
-func (c *CholeskyOperator) Solve(b, _, dst []float64, ws *Workspace) ([]float64, error) {
-	n := c.m.N
-	if len(b) != n {
-		panic("linalg: cholesky Solve dimension mismatch")
-	}
-	if ws == nil {
-		ws = &Workspace{}
-	}
-	if dst == nil {
-		dst = make([]float64, n)
-	}
-	ws.LastIterations = 0
-	y := ws.direct(n)
-	perm := c.sym.perm
-	colPtr := c.sym.colPtr
-	rowIdx, values, invD := c.f.rowIdx, c.f.values, c.f.invD
-	for k, p := range perm {
+// solveScalar runs the PR 4 per-entry permuted triangular solves against a
+// scalar factor (oracle for the panel solves).
+func (f *scalarFactor) solveScalar(sym *cholSymbolic, b []float64) []float64 {
+	n := sym.n
+	y := make([]float64, n)
+	for k, p := range sym.perm {
 		y[k] = b[p]
 	}
+	colPtr := sym.colPtr
 	for j := 0; j < n; j++ {
 		yj := y[j]
 		if yj == 0 {
 			continue
 		}
 		for p := colPtr[j]; p < colPtr[j+1]; p++ {
-			y[rowIdx[p]] -= values[p] * yj
+			y[f.rowIdx[p]] -= f.values[p] * yj
 		}
 	}
-	// Backward sweep with the D⁻¹ scale fused in: by the time column j is
-	// processed, every y[rowIdx[p]] (rowIdx > j) is already a final x entry.
 	for j := n - 1; j >= 0; j-- {
-		s := y[j] * invD[j]
+		s := y[j] * f.invD[j]
 		for p := colPtr[j]; p < colPtr[j+1]; p++ {
-			s -= values[p] * y[rowIdx[p]]
+			s -= f.values[p] * y[f.rowIdx[p]]
 		}
 		y[j] = s
 	}
-	for k, p := range perm {
+	dst := make([]float64, n)
+	for k, p := range sym.perm {
 		dst[p] = y[k]
 	}
-	return dst, nil
+	return dst
 }
-
-// Shift implements Operator. The shift touches only the diagonal, so the
-// returned operator reuses the receiver's symbolic analysis (ordering,
-// elimination tree, column pointers) and pays for a numeric refactorization
-// only. This is the factor-cache contract backward-Euler stepping relies on.
-func (c *CholeskyOperator) Shift(diag []float64) (Operator, error) {
-	if len(diag) != c.m.N {
-		return nil, fmt.Errorf("linalg: Shift dimension mismatch %d vs %d", c.m.N, len(diag))
-	}
-	m2 := c.m.Shifted(diag)
-	f, err := factorLDL(m2, c.sym)
-	if err != nil {
-		return nil, err
-	}
-	return &CholeskyOperator{m: m2, sym: c.sym, f: f}, nil
-}
-
-// Diag implements Operator.
-func (c *CholeskyOperator) Diag() []float64 { return c.m.Diagonal() }
-
-// Iterative implements Operator: the solve is direct.
-func (c *CholeskyOperator) Iterative() bool { return false }
-
-// --- greedy minimum-degree ordering ---
-
-// mdOrder returns a greedy minimum-degree permutation: repeatedly eliminate
-// the lowest-degree node (ties broken on index, so the ordering is
-// deterministic) and connect its surviving neighbours into a clique —
-// exactly the fill the factorization would create, so the pivot choice
-// tracks true degrees. The elimination graph lives in dense bitsets: row
-// updates are word-parallel ORs and degrees are masked popcounts, which
-// keeps the quadratic-ish bookkeeping cheap at the network sizes the direct
-// backend serves.
-func mdOrder(m *CSR) []int {
-	n := m.N
-	w := (n + 63) / 64
-	adj := make([]uint64, n*w)
-	row := func(i int) []uint64 { return adj[i*w : (i+1)*w] }
-	for i := 0; i < n; i++ {
-		ri := row(i)
-		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-			if j := m.ColIdx[p]; j != i {
-				ri[j>>6] |= 1 << (uint(j) & 63)
-			}
-		}
-	}
-	alive := make([]uint64, w)
-	for i := 0; i < n; i++ {
-		alive[i>>6] |= 1 << (uint(i) & 63)
-	}
-	deg := make([]int, n)
-	for i := 0; i < n; i++ {
-		deg[i] = popcountAnd(row(i), alive)
-	}
-	perm := make([]int, 0, n)
-	nv := make([]uint64, w)
-	for len(perm) < n {
-		v := -1
-		for i := 0; i < n; i++ {
-			if alive[i>>6]&(1<<(uint(i)&63)) != 0 && (v < 0 || deg[i] < deg[v]) {
-				v = i
-			}
-		}
-		perm = append(perm, v)
-		alive[v>>6] &^= 1 << (uint(v) & 63)
-		rv := row(v)
-		for k := range nv {
-			nv[k] = rv[k] & alive[k]
-		}
-		for k, word := range nv {
-			for word != 0 {
-				a := k<<6 + trailingZeros(word)
-				word &= word - 1
-				ra := row(a)
-				for x := range ra {
-					ra[x] |= nv[x]
-				}
-				ra[a>>6] &^= 1 << (uint(a) & 63)
-				deg[a] = popcountAnd(ra, alive)
-			}
-		}
-	}
-	return perm
-}
-
-// popcountAnd counts the set bits of a&b without materializing it.
-func popcountAnd(a, b []uint64) int {
-	c := 0
-	for i := range a {
-		c += bits.OnesCount64(a[i] & b[i])
-	}
-	return c
-}
-
-func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }
 
 // --- reverse Cuthill-McKee ordering ---
 
@@ -439,8 +1051,9 @@ func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }
 // breadth-first numbering from a pseudo-peripheral start, neighbours visited
 // by ascending degree, then reversed — which concentrates the profile of a
 // mesh-like graph near the diagonal and bounds Cholesky fill by the
-// bandwidth. Deterministic: ties break on node index, components are entered
-// in index order.
+// bandwidth. It survives PR 5 as the bandwidth-quality baseline the ordering
+// tests compare AMD against. Deterministic: ties break on node index,
+// components are entered in index order.
 func rcmOrder(m *CSR) []int {
 	n := m.N
 	deg := make([]int, n)

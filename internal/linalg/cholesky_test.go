@@ -233,7 +233,7 @@ func TestCholeskySolveAllocationFree(t *testing.T) {
 
 func TestOrderingsArePermutations(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
-	orders := map[string]func(*CSR) []int{"rcm": rcmOrder, "md": mdOrder}
+	orders := map[string]func(*CSR) []int{"rcm": rcmOrder, "amd": amdOrder}
 	for _, n := range []int{1, 2, 7, 64, 333} {
 		m := NewCSR(n, spdEntries(rng, n))
 		for name, order := range orders {

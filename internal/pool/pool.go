@@ -12,6 +12,33 @@ import (
 	"sync"
 )
 
+// RunChunked deals the given indices round-robin into min(workers, len)
+// chunks — workers ≤ 0 uses GOMAXPROCS — and runs each chunk on the pool.
+// It is the shared front half of every lockstep batch API (rcnet
+// TransientBatch, hotspot sweeps and replay batches, scenario grids): the
+// deal is deterministic, so per-chunk grouping downstream is too, and
+// results never depend on the worker count. Chunk functions must record
+// their own results/errors; RunChunked only guarantees completion.
+func RunChunked(indices []int, workers int, run func(chunk []int)) {
+	if len(indices) == 0 {
+		return
+	}
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(indices) {
+		w = len(indices)
+	}
+	chunks := make([][]int, w)
+	for i, idx := range indices {
+		chunks[i%w] = append(chunks[i%w], idx)
+	}
+	Run(w, w, func() func(int) {
+		return func(c int) { run(chunks[c]) }
+	})
+}
+
 // Run invokes a job function for every index in [0, n) across a pool of
 // worker goroutines and returns once all jobs have completed. workers ≤ 0
 // uses GOMAXPROCS; the pool never exceeds n workers. Each worker calls

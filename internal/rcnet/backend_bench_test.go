@@ -18,15 +18,22 @@ import (
 // The headline numbers (steady state at ≥1000 nodes) are recorded in
 // CHANGES.md.
 
-// benchSizes maps a label to grid dimensions; node count is 2·nx·ny.
+// benchSizes maps a label to grid dimensions; node count is 2·nx·ny. The
+// big sizes are the reference-grid scale the AMD ordering unlocked for the
+// direct backend (PR 4's dense-bitset minimum degree was capped at 4096
+// unknowns); dense rows are excluded there — an O(n²) matrix would need
+// 2-34 GB — as is the CG row at N=65536 (minutes per steady solve).
 var benchSizes = []struct {
 	name   string
 	nx, ny int
+	big    bool
 }{
-	{"N=128", 8, 8},
-	{"N=512", 16, 16},
-	{"N=1058", 23, 23},
-	{"N=2048", 32, 32},
+	{"N=128", 8, 8, false},
+	{"N=512", 16, 16, false},
+	{"N=1058", 23, 23, false},
+	{"N=2048", 32, 32, false},
+	{"N=16384", 64, 128, true},
+	{"N=65536", 128, 256, true},
 }
 
 // benchBackends lists the explicit backends plus "auto" (nil backend =
@@ -42,6 +49,17 @@ var benchBackends = []struct {
 	{"auto", nil},
 }
 
+// benchSkip reports backend rows excluded at a size (see benchSizes).
+func benchSkip(szBig bool, n int, backend string) bool {
+	if !szBig {
+		return false
+	}
+	if backend == "dense" {
+		return true
+	}
+	return backend == "sparse" && n > 20000
+}
+
 // benchCompile compiles onto the row's backend ("auto" = Compile).
 func benchCompile(net *Network, backend linalg.Backend) (*Solver, error) {
 	if backend == nil {
@@ -54,6 +72,9 @@ func BenchmarkBackendCompile(b *testing.B) {
 	for _, sz := range benchSizes {
 		net := gridNetwork(rand.New(rand.NewSource(1)), sz.nx, sz.ny)
 		for _, bk := range benchBackends {
+			if benchSkip(sz.big, net.N(), bk.name) {
+				continue
+			}
 			b.Run(fmt.Sprintf("%s/%s", bk.name, sz.name), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					if _, err := benchCompile(net, bk.backend); err != nil {
@@ -76,6 +97,9 @@ func BenchmarkBackendSteadyState(b *testing.B) {
 		net := gridNetwork(rng, sz.nx, sz.ny)
 		p := randomPower(rng, net.N())
 		for _, bk := range benchBackends {
+			if benchSkip(sz.big, net.N(), bk.name) {
+				continue
+			}
 			b.Run(fmt.Sprintf("%s/%s", bk.name, sz.name), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					s, err := benchCompile(net, bk.backend)
@@ -98,6 +122,9 @@ func BenchmarkBackendSteadyStateSolveOnly(b *testing.B) {
 		net := gridNetwork(rng, sz.nx, sz.ny)
 		p := randomPower(rng, net.N())
 		for _, bk := range benchBackends {
+			if benchSkip(sz.big, net.N(), bk.name) {
+				continue
+			}
 			s, err := benchCompile(net, bk.backend)
 			if err != nil {
 				b.Fatal(err)
@@ -119,12 +146,20 @@ func BenchmarkBackendTransientBE(b *testing.B) {
 		net := gridNetwork(rng, sz.nx, sz.ny)
 		p := randomPower(rng, net.N())
 		for _, bk := range benchBackends {
+			if benchSkip(sz.big, net.N(), bk.name) {
+				continue
+			}
 			s, err := benchCompile(net, bk.backend)
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.Run(fmt.Sprintf("%s/%s", bk.name, sz.name), func(b *testing.B) {
 				temp := s.AmbientVector()
+				// Warm the (C/dt + A) factor: the row measures cached-factor
+				// stepping, not the once-per-dt factorization.
+				if err := s.TransientBE(temp, p, 1e-3, 1e-3); err != nil {
+					b.Fatal(err)
+				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if err := s.TransientBE(temp, p, 0.1, 1e-3); err != nil {

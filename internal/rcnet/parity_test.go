@@ -151,19 +151,31 @@ func TestBackendParityTrace(t *testing.T) {
 	}
 }
 
-// TestCompileSelectsBackendBySize: the automatic selection must route small
-// networks to dense LU and large floorplan-shaped ones (modest fill) to the
+// TestCompileSelectsBackendBySize: the automatic selection must route tiny
+// networks to dense LU and everything floorplan-shaped (modest fill) to the
 // sparse direct Cholesky path, with the SolverHint escape hatch forcing any
 // backend.
 func TestCompileSelectsBackendBySize(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	small := gridNetwork(rng, 3, 3) // 18 nodes
-	s1, err := small.Compile()
+	tiny := New(300)
+	a := tiny.AddNode("a", 1)
+	bn := tiny.AddNode("b", 1)
+	tiny.Connect(a, bn, 2)
+	tiny.ConnectAmbient(a, 1)
+	s1, err := tiny.Compile()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s1.Backend() != "dense" {
-		t.Fatalf("small network compiled onto %q, want dense", s1.Backend())
+		t.Fatalf("tiny network compiled onto %q, want dense", s1.Backend())
+	}
+	small := gridNetwork(rng, 3, 3) // 18 nodes: already past DenseCutoff
+	sSmall, err := small.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sSmall.Backend() != "cholesky" {
+		t.Fatalf("small network compiled onto %q, want cholesky", sSmall.Backend())
 	}
 	big := gridNetwork(rng, 10, 10) // 200 nodes
 	s2, err := big.Compile()

@@ -13,6 +13,7 @@ import (
 	"repro/internal/hotspot"
 	"repro/internal/pool"
 	"repro/internal/power"
+	"repro/internal/rcnet"
 	"repro/internal/uarch"
 )
 
@@ -650,182 +651,295 @@ func (c *Compiled) nominalPrepass(ctx context.Context) error {
 }
 
 // RunGrid co-simulates every grid cell across a worker pool (workers ≤ 0 =
-// GOMAXPROCS) and returns per-cell results indexed like Cells(). Each worker
-// keeps one stepping hotspot.Session per distinct model, so same-package
-// cells share a cached backward-Euler operator; cells themselves are fully
-// independent (own CPU state, own temperatures, own controller), which makes
-// the results bit-identical for any worker count. onCell, when non-nil, is
-// called once per cell as it finishes (any order, serialized) — the
-// service's NDJSON streaming hook. ctx, when non-nil, aborts unfinished
-// cells with its error once cancelled; finished cells keep their results.
+// GOMAXPROCS) and returns per-cell results indexed like Cells(). Cells are
+// split round-robin into per-worker chunks; each worker groups its chunk by
+// package and advances every group in lockstep through a
+// hotspot.BatchSession, so same-package cells share both the cached
+// backward-Euler factor and each step's factor traversal (one batched solve
+// for the whole group). Cells themselves stay fully independent (own CPU
+// state, own temperatures, own controller), and batching never changes
+// per-column arithmetic, so the results are bit-identical for any worker
+// count. onCell, when non-nil, is called once per cell as it finishes (any
+// order, serialized) — the service's NDJSON streaming hook. ctx, when
+// non-nil, aborts unfinished cells with its error once cancelled; finished
+// cells keep their results.
 func (c *Compiled) RunGrid(ctx context.Context, workers int, onCell func(CellResult)) []CellResult {
 	cells := c.Cells()
 	results := make([]CellResult, len(cells))
+	if len(cells) == 0 {
+		return results
+	}
 	var mu sync.Mutex
-	pool.Run(len(cells), workers, func() func(int) {
-		sessions := make(map[*hotspot.Model]*hotspot.Session)
-		return func(i int) {
-			cell := cells[i]
-			pkg := &c.pkgs[cell.Index/len(c.policies)]
-			res := CellResult{Cell: cell}
-			func() {
-				defer func() {
-					if r := recover(); r != nil {
-						res.Err = fmt.Errorf("scenario: cell %d panicked: %v", i, r)
-					}
-				}()
-				se := sessions[pkg.model]
-				if se == nil {
-					se = pkg.model.NewSession()
-					sessions[pkg.model] = se
+	emit := func(i int) {
+		if onCell != nil {
+			mu.Lock()
+			onCell(results[i])
+			mu.Unlock()
+		}
+	}
+	all := make([]int, len(cells))
+	for i := range all {
+		all[i] = i
+	}
+	pool.RunChunked(all, workers, func(chunk []int) {
+		// Group the chunk's cells by package, first-seen order.
+		var order []*compiledPackage
+		groups := make(map[*compiledPackage][]int)
+		for _, i := range chunk {
+			pkg := &c.pkgs[cells[i].Index/len(c.policies)]
+			if _, ok := groups[pkg]; !ok {
+				order = append(order, pkg)
+			}
+			groups[pkg] = append(groups[pkg], i)
+		}
+		for _, pkg := range order {
+			g := groups[pkg]
+			for off := 0; off < len(g); off += rcnet.MaxBatchWidth {
+				end := off + rcnet.MaxBatchWidth
+				if end > len(g) {
+					end = len(g)
 				}
-				res.Metrics, res.Err = c.runCell(ctx, se, pkg, cell.Policy)
-			}()
-			results[i] = res
-			if onCell != nil {
-				mu.Lock()
-				onCell(res)
-				mu.Unlock()
+				c.runCellGroup(ctx, pkg, cells, g[off:end], results)
+				for _, i := range g[off:end] {
+					emit(i)
+				}
 			}
 		}
 	})
 	return results
 }
 
-// runCell runs one closed-loop cell. Stepping order (DESIGN.md §6): read the
-// true state, account violations, sample sensors on the controller schedule,
-// decide engagement, produce this step's power under that engagement, then
-// advance the thermal model — so actuation alters the power of the step it
-// triggers in, and its thermal effect reaches the sensors one step later.
-func (c *Compiled) runCell(ctx context.Context, se *hotspot.Session, pkg *compiledPackage, pol dtm.Policy) (Metrics, error) {
-	ctrl, err := dtm.NewController(pol, c.dt)
-	if err != nil {
-		return Metrics{}, err
-	}
+// cellRun is the per-cell mutable state of one lockstep group member.
+type cellRun struct {
+	pol        dtm.Policy
+	ctrl       *dtm.Controller
+	pr         *producer
+	temps      []float64
+	blockPower []float64
+	blocksC    []float64
+	m          Metrics
+	nonWorkPen float64 // engaged non-workload penalty accumulator
+	err        error
+	done       bool
+}
+
+// runCellGroup runs one ≤MaxBatchWidth group of same-package closed-loop
+// cells in lockstep. Per-cell stepping order is unchanged from the serial
+// engine (DESIGN.md §6): read the true state, account violations, sample
+// sensors on the controller schedule, decide engagement, produce this
+// step's power under that engagement — then advance every cell's thermal
+// state in one batched solve, so actuation alters the power of the step it
+// triggers in and its thermal effect reaches the sensors one step later.
+func (c *Compiled) runCellGroup(ctx context.Context, pkg *compiledPackage, cells []Cell, idx []int, results []CellResult) {
+	kk := len(idx)
 	model := pkg.model
-	temps := append([]float64(nil), pkg.initTemps...)
-	blockPower := make([]float64, c.fp.N())
-	pr := c.newProducer()
-
-	var m Metrics
-	m.DurationS = float64(c.steps) * c.dt
-	m.PeakC = math.Inf(-1)
-	m.ObservedPeakC = math.Inf(-1)
-	var engagedNonWorkloadPenalty float64
-
-	for step := 0; step < c.steps; step++ {
-		if ctx != nil {
-			if err := ctx.Err(); err != nil {
-				return m, fmt.Errorf("scenario: aborted at step %d/%d: %w", step, c.steps, err)
+	runs := make([]*cellRun, kk)
+	tview := make([][]float64, kk)
+	pview := make([][]float64, kk)
+	serrs := make([]error, kk)
+	bs := model.NewBatchSession(kk)
+	// Per-cell setup with panic containment (a broken workload constructor
+	// must fail its own cell, like the per-cell recover it replaced).
+	setup := func(k, i int) {
+		r := runs[k]
+		defer func() {
+			if p := recover(); p != nil {
+				r.err = fmt.Errorf("scenario: cell %d panicked: %v", i, p)
+				r.done = true
 			}
+		}()
+		ctrl, err := dtm.NewController(r.pol, c.dt)
+		if err != nil {
+			r.err, r.done = err, true
+			return
 		}
-		blocksC := model.NewResult(temps).BlocksC()
-		hot := blocksC[0]
-		for _, v := range blocksC {
+		r.ctrl = ctrl
+		r.temps = append([]float64(nil), pkg.initTemps...)
+		r.blockPower = make([]float64, c.fp.N())
+		r.blocksC = make([]float64, c.fp.N())
+		r.pr = c.newProducer()
+	}
+	for k, i := range idx {
+		r := &cellRun{pol: cells[i].Policy}
+		r.m.DurationS = float64(c.steps) * c.dt
+		r.m.PeakC = math.Inf(-1)
+		r.m.ObservedPeakC = math.Inf(-1)
+		runs[k] = r
+		setup(k, i)
+	}
+	// preStep runs one cell's sense/decide/produce phase for step; panics
+	// (a broken schedule or workload) fail their own cell only.
+	preStep := func(k int, step int) {
+		r := runs[k]
+		defer func() {
+			if p := recover(); p != nil {
+				r.err = fmt.Errorf("scenario: cell %d panicked: %v", idx[k], p)
+				r.done = true
+			}
+		}()
+		model.BlocksCInto(r.temps, r.blocksC)
+		hot := r.blocksC[0]
+		for _, v := range r.blocksC {
 			if v > hot {
 				hot = v
 			}
 		}
 		if step == 0 {
-			m.InitialHotC = hot
+			r.m.InitialHotC = hot
 		}
-		if hot > m.PeakC {
-			m.PeakC = hot
+		if hot > r.m.PeakC {
+			r.m.PeakC = hot
 		}
 
 		// Sense and decide.
-		if ctrl.ShouldSample(step) {
+		if r.ctrl.ShouldSample(step) {
 			obs := math.Inf(-1)
 			if len(c.sensorIdx) == 0 {
 				obs = hot
 			} else {
 				for i, bi := range c.sensorIdx {
-					if v := blocksC[bi] + c.sensorOff[i]; v > obs {
+					if v := r.blocksC[bi] + c.sensorOff[i]; v > obs {
 						obs = v
 					}
 				}
 			}
-			if obs > m.ObservedPeakC {
-				m.ObservedPeakC = obs
+			if obs > r.m.ObservedPeakC {
+				r.m.ObservedPeakC = obs
 			}
-			ctrl.Observe(step, obs)
+			r.ctrl.Observe(step, obs)
 		}
-		engaged := ctrl.Engaged(step)
+		engaged := r.ctrl.Engaged(step)
 
 		// Violation accounting against the true state.
 		if hot > c.spec.EmergencyC {
-			m.ViolationS += c.dt
+			r.m.ViolationS += c.dt
 			if engaged {
-				m.CoveredViolationS += c.dt
+				r.m.CoveredViolationS += c.dt
 			}
 		}
 
 		// Produce this step's power under the engagement decision.
 		progress, vScale, sScale, rowScale := 1.0, 1.0, 1.0, 1.0
 		if engaged {
-			progress = pol.PerfFactor
-			rowScale = pol.PowerScale()
-			if pol.Actuator == dtm.DVFS {
-				f := pol.PerfFactor
+			progress = r.pol.PerfFactor
+			rowScale = r.pol.PowerScale()
+			if r.pol.Actuator == dtm.DVFS {
+				f := r.pol.PerfFactor
 				vScale = f * f     // dynamic: energy/access ∝ V²
 				sScale = f * f * f // static: idle/clock power ∝ f·V²
 			}
 		}
-		isWorkload := c.phases[pr.phase].kind == phaseWorkload
+		isWorkload := c.phases[r.pr.phase].kind == phaseWorkload
 		var leakTemps []float64
 		if isWorkload && !c.spec.DisableLeakageFeedback {
-			leakTemps = blocksC
+			leakTemps = r.blocksC
 		}
-		committed, err := pr.next(blockPower, progress, vScale, sScale, rowScale, leakTemps)
+		committed, err := r.pr.next(r.blockPower, progress, vScale, sScale, rowScale, leakTemps)
 		if err != nil {
-			return m, err
+			r.err, r.done = err, true
+			return
 		}
-		m.Committed += committed
+		r.m.Committed += committed
 		if engaged {
-			m.EngagedS += c.dt
+			r.m.EngagedS += c.dt
 			if !isWorkload {
-				engagedNonWorkloadPenalty += c.dt * (1 - pol.PerfFactor)
+				r.nonWorkPen += c.dt * (1 - r.pol.PerfFactor)
 			}
 		}
-
-		// Advance the thermal state.
-		if err := se.StepBlockPower(temps, blockPower, c.dt); err != nil {
-			return m, err
+	}
+	for step := 0; step < c.steps; step++ {
+		var ctxErr error
+		if ctx != nil {
+			ctxErr = ctx.Err()
+		}
+		live := 0
+		for k := range runs {
+			tview[k], pview[k] = nil, nil
+			if runs[k].done {
+				continue
+			}
+			if ctxErr != nil {
+				runs[k].err = fmt.Errorf("scenario: aborted at step %d/%d: %w", step, c.steps, ctxErr)
+				runs[k].done = true
+				continue
+			}
+			preStep(k, step)
+			if runs[k].done {
+				continue
+			}
+			tview[k], pview[k] = runs[k].temps, runs[k].blockPower
+			live++
+		}
+		if live == 0 {
+			break
+		}
+		// Advance every live cell's thermal state in one batched solve.
+		if err := bs.StepBlockPower(tview, pview, c.dt, serrs); err != nil {
+			for k := range runs {
+				if tview[k] != nil {
+					runs[k].err, runs[k].done = err, true
+				}
+			}
+			break
+		}
+		for k := range runs {
+			if tview[k] != nil && serrs[k] != nil {
+				runs[k].err, runs[k].done = serrs[k], true
+				serrs[k] = nil
+			}
 		}
 	}
-	m.Engagements = ctrl.Engagements()
-	finalC := model.NewResult(temps).BlocksC()
-	m.FinalHotC = finalC[0]
-	for _, v := range finalC {
-		if v > m.FinalHotC {
-			m.FinalHotC = v
+	finish := func(k, i int) {
+		r := runs[k]
+		defer func() {
+			if p := recover(); p != nil {
+				r.err = fmt.Errorf("scenario: cell %d panicked: %v", i, p)
+			}
+		}()
+		if r.err == nil {
+			c.finishCell(model, r)
+		}
+	}
+	for k, i := range idx {
+		finish(k, i)
+		results[i] = CellResult{Cell: cells[i], Metrics: runs[k].m, Err: runs[k].err}
+	}
+}
+
+// finishCell computes a completed cell's closing metrics.
+func (c *Compiled) finishCell(model *hotspot.Model, r *cellRun) {
+	r.m.Engagements = r.ctrl.Engagements()
+	model.BlocksCInto(r.temps, r.blocksC)
+	r.m.FinalHotC = r.blocksC[0]
+	for _, v := range r.blocksC {
+		if v > r.m.FinalHotC {
+			r.m.FinalHotC = v
 		}
 	}
 	// The loop samples temperatures before each step, so the state after the
 	// last step is otherwise unseen: fold it into the true peak (violation
 	// time is a per-step integral and stays as accumulated — the final state
 	// has no remaining duration).
-	if m.FinalHotC > m.PeakC {
-		m.PeakC = m.FinalHotC
+	if r.m.FinalHotC > r.m.PeakC {
+		r.m.PeakC = r.m.FinalHotC
 	}
-	m.DutyCycle = m.EngagedS / m.DurationS
+	r.m.DutyCycle = r.m.EngagedS / r.m.DurationS
 
 	// Performance penalty: instruction-measured over workload time,
 	// engagement-fraction over the rest, blended by time share.
 	var instrLoss float64
 	if c.nominalCommitted > 0 {
-		instrLoss = 1 - float64(m.Committed)/float64(c.nominalCommitted)
+		instrLoss = 1 - float64(r.m.Committed)/float64(c.nominalCommitted)
 		if instrLoss < 0 {
 			instrLoss = 0
 		}
 	}
 	workloadTime := float64(c.workloadSteps) * c.dt
-	m.PerfPenalty = (instrLoss*workloadTime + engagedNonWorkloadPenalty) / m.DurationS
+	r.m.PerfPenalty = (instrLoss*workloadTime + r.nonWorkPen) / r.m.DurationS
 
-	if m.ViolationS > 0 {
-		m.ViolationCoverage = m.CoveredViolationS / m.ViolationS
+	if r.m.ViolationS > 0 {
+		r.m.ViolationCoverage = r.m.CoveredViolationS / r.m.ViolationS
 	} else {
-		m.ViolationCoverage = 1
+		r.m.ViolationCoverage = 1
 	}
-	return m, nil
 }

@@ -123,6 +123,16 @@ type SolverPathStats struct {
 	// (triangular solves on the direct paths, CG iteration on the
 	// fallback), over all steps of all resident models.
 	MeanStepSolveUS float64 `json:"mean_step_solve_us"`
+	// Supernodes totals the supernodal panels across every resident
+	// direct-backend factor; MaxPanelRows is the tallest panel among them
+	// (the factor's working-set headline).
+	Supernodes   int64 `json:"supernodes"`
+	MaxPanelRows int   `json:"max_panel_rows"`
+	// BatchWidths histograms batched solves by how many right-hand sides
+	// each solved per factor traversal (buckets "1".."33+"), summed over
+	// resident models. Sweep, replay-batch and scenario-grid traffic lands
+	// here; single-state stepping does not.
+	BatchWidths map[string]int64 `json:"batch_widths,omitempty"`
 }
 
 // Stats is the /v1/stats payload.
@@ -156,6 +166,16 @@ func (m *metrics) snapshot(cache *ModelCache) Stats {
 		solver.DirectSteps += st.DirectSteps
 		solver.CGSteps += st.CGSteps
 		solver.CGIterations += st.CGIterations
+		solver.Supernodes += int64(st.Supernodes)
+		if st.MaxPanelRows > solver.MaxPanelRows {
+			solver.MaxPanelRows = st.MaxPanelRows
+		}
+		for bucket, count := range st.BatchWidths {
+			if solver.BatchWidths == nil {
+				solver.BatchWidths = make(map[string]int64)
+			}
+			solver.BatchWidths[bucket] += count
+		}
 		if steps := st.DirectSteps + st.CGSteps; steps > 0 {
 			solver.MeanStepSolveUS += float64(st.StepSolveNanos) / 1e3
 		}

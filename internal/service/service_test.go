@@ -446,6 +446,9 @@ func TestStatsSolverPath(t *testing.T) {
 	if sv.MeanStepSolveUS <= 0 {
 		t.Fatalf("mean step solve latency %g, want > 0", sv.MeanStepSolveUS)
 	}
+	if sv.Supernodes <= 0 || sv.MaxPanelRows <= 0 {
+		t.Fatalf("supernodal factor stats missing: supernodes=%d max_panel_rows=%d", sv.Supernodes, sv.MaxPanelRows)
+	}
 
 	// A second identical request reuses the cached factor.
 	resp, raw = postJSON(t, ts.URL+"/v1/transient", TransientRequest{

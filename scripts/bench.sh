@@ -2,11 +2,13 @@
 # bench.sh — the solver benchmark harness.
 #
 # Runs the solver-path micro-benchmarks (the root EV6 benchmarks plus the
-# rcnet backend matrix) and emits BENCH_solver.json via cmd/benchreport:
-# ns/op, B/op, allocs/op, custom metrics, GOMAXPROCS and the commit hash.
-# When BENCH_solver.json already exists, its numbers are embedded as the
-# baseline and per-benchmark speedups are computed, so the checked-in file
-# forms a performance trajectory across PRs.
+# rcnet backend matrix, now including the N=16384/N=65536 reference-grid
+# rows) and emits BENCH_solver.json via cmd/benchreport: ns/op, B/op,
+# allocs/op, custom metrics, GOMAXPROCS and the commit hash. When
+# BENCH_solver.json already exists, its numbers are embedded as the baseline
+# (per-benchmark speedups vs the previous run) AND every prior run is
+# carried forward in the report's `history` array with this run appended —
+# the machine-readable perf trajectory across PRs.
 #
 # Usage, from the repository root:
 #
@@ -17,12 +19,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Per-group iteration counts: the EV6 step/solve benchmarks are ~1 µs/op and
-# need many iterations for a stable number, the sweep is ~0.5 ms/op, and the
-# rcnet backend matrix includes multi-second dense rows. Setting BENCHTIME
-# overrides all three (CI smoke passes BENCHTIME=1x).
+# need many iterations for a stable number, the sweep is ~0.7 ms/op, and the
+# rcnet backend matrix spans ~20 µs to ~330 ms rows (dense N=2048 transient).
+# Setting BENCHTIME overrides all three (CI smoke passes BENCHTIME=1x).
 STEP_BENCHTIME="${BENCHTIME:-50000x}"
 SWEEP_BENCHTIME="${BENCHTIME:-1000x}"
-RCNET_BENCHTIME="${BENCHTIME:-5x}"
+RCNET_BENCHTIME="${BENCHTIME:-20x}"
 OUT="${OUT:-BENCH_solver.json}"
 
 tmp="$(mktemp)"

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# profile.sh — capture a CPU profile of thermsvc under sweep-replay load.
+#
+# Starts thermsvc with its (off-by-default) pprof listener, drives a batch
+# of trace-replay sweep requests at it, and captures a CPU profile covering
+# that window. The profile lands in ./profiles/ and is ready for
+# `go tool pprof`.
+#
+# Usage, from the repository root:
+#
+#	./scripts/profile.sh                    # 10 s profile under sweep load
+#	SECONDS_PROFILED=30 ./scripts/profile.sh
+#	SWEEP_SCENARIOS=64 ./scripts/profile.sh # wider sweep request
+#
+# Requires nothing beyond the Go toolchain and curl; ports are loopback-only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SECONDS_PROFILED="${SECONDS_PROFILED:-10}"
+SWEEP_SCENARIOS="${SWEEP_SCENARIOS:-32}"
+ADDR="${ADDR:-localhost:18080}"
+PPROF_ADDR="${PPROF_ADDR:-localhost:16060}"
+OUTDIR="${OUTDIR:-profiles}"
+
+mkdir -p "$OUTDIR"
+out="$OUTDIR/thermsvc-cpu-$(date -u +%Y%m%dT%H%M%SZ).pprof"
+
+echo "== building thermsvc"
+go build -o "$OUTDIR/thermsvc.bin" ./cmd/thermsvc
+
+"$OUTDIR/thermsvc.bin" -addr "$ADDR" -pprof "$PPROF_ADDR" &
+svc=$!
+trap 'kill "$svc" 2>/dev/null || true; wait "$svc" 2>/dev/null || true' EXIT
+
+# Wait for readiness.
+for _ in $(seq 1 50); do
+  curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "http://$ADDR/healthz" >/dev/null
+
+# Build one sweep request: N identical oil-silicon trace scenarios (the
+# lockstep batched replay path) — python3 only formats JSON.
+req="$OUTDIR/sweep-request.json"
+python3 - "$SWEEP_SCENARIOS" > "$req" <<'EOF'
+import json, sys
+n = int(sys.argv[1])
+rows = [[0.5 + 2.5 * ((step // 4) % 2)] * 2 for step in range(40)]
+scenario = {
+    "model": {"floorplan": "ev6", "package": "oil-silicon", "rconv": 0.3, "secondary": True},
+    "trace": {"names": ["IntReg", "L2"], "interval": 1e-4, "rows": rows},
+}
+print(json.dumps({"scenarios": [scenario] * n}))
+EOF
+
+echo "== driving sweep replays for ${SECONDS_PROFILED}s while profiling"
+(
+  end=$((SECONDS + SECONDS_PROFILED + 2))
+  while [ "$SECONDS" -lt "$end" ]; do
+    curl -sf -X POST -H 'Content-Type: application/json' \
+      --data-binary @"$req" "http://$ADDR/v1/sweep" >/dev/null || true
+  done
+) &
+load=$!
+
+curl -sf -o "$out" "http://$PPROF_ADDR/debug/pprof/profile?seconds=$SECONDS_PROFILED"
+wait "$load" 2>/dev/null || true
+
+echo "wrote $out"
+echo "inspect with: go tool pprof -top $OUTDIR/thermsvc.bin $out"

@@ -52,9 +52,22 @@ type Baseline struct {
 // (which always holds exactly the previous run), History accumulates — each
 // bench.sh run appends itself.
 type HistoryEntry struct {
-	Commit  string             `json:"commit"`
-	Date    string             `json:"date,omitempty"` // RFC 3339 UTC (absent for runs predating the history schema)
-	NsPerOp map[string]float64 `json:"ns_per_op"`
+	Commit string `json:"commit"`
+	Date   string `json:"date,omitempty"` // RFC 3339 UTC (absent for runs predating the history schema)
+	// GOMAXPROCS distinguishes single-core from multicore runs of the same
+	// commit (bench.sh records both). Entries predating the field ran on
+	// single-core CI runners and are read as 1.
+	GOMAXPROCS int                `json:"gomaxprocs,omitempty"`
+	NsPerOp    map[string]float64 `json:"ns_per_op"`
+}
+
+// procsOf normalizes a history entry's GOMAXPROCS (absent = 1, the
+// pre-schema single-core runs).
+func procsOf(e HistoryEntry) int {
+	if e.GOMAXPROCS > 0 {
+		return e.GOMAXPROCS
+	}
+	return 1
 }
 
 // Report is the BENCH_*.json schema.
@@ -123,21 +136,24 @@ func main() {
 		os.Exit(1)
 	}
 	if prev != nil {
-		rep.Baseline = &Baseline{Commit: prev.Commit, NsPerOp: make(map[string]float64)}
-		for _, b := range prev.Benchmarks {
-			rep.Baseline.NsPerOp[b.Name] = b.NsPerOp
-		}
-		rep.Speedup = make(map[string]float64)
-		for _, b := range rep.Benchmarks {
-			if old, ok := rep.Baseline.NsPerOp[b.Name]; ok && b.NsPerOp > 0 {
-				rep.Speedup[b.Name] = round3(old / b.NsPerOp)
-			}
-		}
 		rep.History = prev.History
 		if len(rep.History) == 0 {
 			// First report with a history: seed it with the previous run so
 			// the trajectory starts at the oldest known numbers.
 			rep.History = append(rep.History, historyEntry(prev))
+		}
+		// The baseline (and the speedups derived from it) must come from a
+		// run at the same GOMAXPROCS: bench.sh chains a single-core and a
+		// multicore run through -prev, and diffing across core counts would
+		// report the parallel speedup as a per-PR regression/improvement.
+		if commit, ns := baselineNs(prev, rep.GOMAXPROCS); ns != nil {
+			rep.Baseline = &Baseline{Commit: commit, NsPerOp: ns}
+			rep.Speedup = make(map[string]float64)
+			for _, b := range rep.Benchmarks {
+				if old, ok := ns[b.Name]; ok && b.NsPerOp > 0 {
+					rep.Speedup[b.Name] = round3(old / b.NsPerOp)
+				}
+			}
 		}
 	}
 	rep.History = append(rep.History, historyEntry(rep))
@@ -160,11 +176,37 @@ func main() {
 
 // historyEntry condenses a report into its history line.
 func historyEntry(r *Report) HistoryEntry {
-	e := HistoryEntry{Commit: r.Commit, Date: r.Date, NsPerOp: make(map[string]float64, len(r.Benchmarks))}
+	e := HistoryEntry{Commit: r.Commit, Date: r.Date, GOMAXPROCS: r.GOMAXPROCS, NsPerOp: make(map[string]float64, len(r.Benchmarks))}
 	for _, b := range r.Benchmarks {
 		e.NsPerOp[b.Name] = b.NsPerOp
 	}
 	return e
+}
+
+// baselineNs picks the baseline numbers from a previous report for a run at
+// the given GOMAXPROCS: the report's own benchmarks when its core count
+// matches, otherwise the newest history entry at that core count. Reports
+// and history entries predating the per-entry field are read as GOMAXPROCS=1
+// (every pre-schema run came from single-core CI runners). Returns a nil map
+// when the previous report has no run at this core count.
+func baselineNs(prev *Report, procs int) (string, map[string]float64) {
+	prevProcs := prev.GOMAXPROCS
+	if prevProcs <= 0 {
+		prevProcs = 1
+	}
+	if prevProcs == procs {
+		ns := make(map[string]float64, len(prev.Benchmarks))
+		for _, b := range prev.Benchmarks {
+			ns[b.Name] = b.NsPerOp
+		}
+		return prev.Commit, ns
+	}
+	for i := len(prev.History) - 1; i >= 0; i-- {
+		if e := prev.History[i]; procsOf(e) == procs {
+			return e.Commit, e.NsPerOp
+		}
+	}
+	return "", nil
 }
 
 // compareReports diffs two reports and prints a GitHub Actions warning
@@ -189,9 +231,17 @@ func compareReports(basePath, newPath string, thresholdPct float64) {
 	if base == nil || cur == nil {
 		return
 	}
-	baseNs := make(map[string]float64, len(base.Benchmarks))
-	for _, b := range base.Benchmarks {
-		baseNs[b.Name] = b.NsPerOp
+	curProcs := cur.GOMAXPROCS
+	if curProcs <= 0 {
+		curProcs = 1
+	}
+	// Baselines match per (benchmark, gomaxprocs): a multicore smoke run
+	// diffs against the baseline's multicore numbers, never against its
+	// single-core ones.
+	baseCommit, baseNs := baselineNs(base, curProcs)
+	if baseNs == nil {
+		fmt.Printf("benchreport: %s has no run at GOMAXPROCS=%d (skipping comparison)\n", basePath, curProcs)
+		return
 	}
 	regressions := 0
 	for _, b := range cur.Benchmarks {
@@ -202,12 +252,12 @@ func compareReports(basePath, newPath string, thresholdPct float64) {
 		pct := (b.NsPerOp/old - 1) * 100
 		if pct > thresholdPct {
 			regressions++
-			fmt.Printf("::warning title=bench regression::%s: %.0f ns/op vs baseline %.0f (+%.1f%%, threshold %.0f%%, baseline commit %s)\n",
-				b.Name, b.NsPerOp, old, pct, thresholdPct, base.Commit)
+			fmt.Printf("::warning title=bench regression::%s: %.0f ns/op vs baseline %.0f (+%.1f%%, threshold %.0f%%, GOMAXPROCS=%d, baseline commit %s)\n",
+				b.Name, b.NsPerOp, old, pct, thresholdPct, curProcs, baseCommit)
 		}
 	}
 	if regressions == 0 {
-		fmt.Printf("benchreport: no ns/op regressions beyond %.0f%% against %s (%s)\n", thresholdPct, basePath, base.Commit)
+		fmt.Printf("benchreport: no ns/op regressions beyond %.0f%% against %s (%s, GOMAXPROCS=%d)\n", thresholdPct, basePath, baseCommit, curProcs)
 	}
 }
 

@@ -46,19 +46,43 @@ var ErrCholeskyFill = errors.New("linalg: Cholesky factor fill exceeds cap")
 // a structurally or numerically asymmetric matrix.
 var ErrNotSymmetric = errors.New("linalg: matrix is not symmetric")
 
+// FactorPrecision selects the storage precision of the compressed factor the
+// triangular sweeps traverse. Factorization always runs in float64 panels;
+// Float32 halves the factor's memory footprint and sweep bandwidth and
+// compensates with one step of float64 iterative refinement per solve
+// (x ← x̂ + L⁻ᵀD⁻¹L⁻¹(b − A·x̂), with the residual computed against the full-
+// precision matrix). See DESIGN.md §9.3 for the error analysis.
+type FactorPrecision int
+
+const (
+	// Float64 stores the compressed factor in full precision (the default).
+	Float64 FactorPrecision = iota
+	// Float32 stores the compressed factor in single precision and adds one
+	// iterative-refinement step to every solve.
+	Float32
+)
+
 // CholeskyBackend assembles sparse direct LDLᵀ-factored operators with an
 // approximate-minimum-degree fill-reducing ordering and a supernodal blocked
 // factorization. Factorization happens eagerly, so non-SPD and singular
-// systems are reported at Assemble. The zero value applies no fill cap.
+// systems are reported at Assemble. The zero value applies no fill cap and
+// stores factors in full precision.
 type CholeskyBackend struct {
 	// MaxFillRatio, when positive, aborts Assemble with ErrCholeskyFill if
 	// nnz(L+D+Lᵀ) exceeds MaxFillRatio × nnz(A). Auto-selecting callers use
 	// it to bound the memory and per-solve cost before committing.
 	MaxFillRatio float64
+	// Precision selects the factor storage precision (FactorPrecision docs).
+	Precision FactorPrecision
 }
 
 // Name implements Backend.
-func (CholeskyBackend) Name() string { return "cholesky" }
+func (cb CholeskyBackend) Name() string {
+	if cb.Precision == Float32 {
+		return "cholesky-f32"
+	}
+	return "cholesky"
+}
 
 // Assemble implements Backend.
 func (cb CholeskyBackend) Assemble(n int, entries []Coord) (Operator, error) {
@@ -70,13 +94,20 @@ func (cb CholeskyBackend) Assemble(n int, entries []Coord) (Operator, error) {
 			return nil, fmt.Errorf("linalg: entry (%d,%d) out of range for n=%d", e.I, e.J, n)
 		}
 	}
-	return NewCholeskyOperator(NewCSR(n, entries), cb.MaxFillRatio)
+	return NewCholeskyOperatorPrec(NewCSR(n, entries), cb.MaxFillRatio, cb.Precision)
 }
 
 // NewCholeskyOperator orders, analyzes and factors an existing CSR matrix
-// (which must be symmetric and must not be mutated afterwards). maxFillRatio
-// follows the CholeskyBackend.MaxFillRatio contract; pass 0 for no cap.
+// (which must be symmetric and must not be mutated afterwards) with a full-
+// precision factor. maxFillRatio follows the CholeskyBackend.MaxFillRatio
+// contract; pass 0 for no cap.
 func NewCholeskyOperator(m *CSR, maxFillRatio float64) (*CholeskyOperator, error) {
+	return NewCholeskyOperatorPrec(m, maxFillRatio, Float64)
+}
+
+// NewCholeskyOperatorPrec is NewCholeskyOperator with an explicit factor
+// storage precision.
+func NewCholeskyOperatorPrec(m *CSR, maxFillRatio float64, prec FactorPrecision) (*CholeskyOperator, error) {
 	if err := checkSymmetric(m); err != nil {
 		return nil, err
 	}
@@ -87,11 +118,11 @@ func NewCholeskyOperator(m *CSR, maxFillRatio float64) (*CholeskyOperator, error
 				ErrCholeskyFill, fill, maxFillRatio, sym.nnzL)
 		}
 	}
-	f, err := factorSupernodal(m, sym)
+	f, err := factorSupernodal(m, sym, prec)
 	if err != nil {
 		return nil, err
 	}
-	return &CholeskyOperator{m: m, sym: sym, f: f}, nil
+	return &CholeskyOperator{m: m, sym: sym, f: f, prec: prec}, nil
 }
 
 // checkSymmetric verifies exact structural and numeric symmetry. Rows of a
@@ -168,6 +199,12 @@ type cholSymbolic struct {
 	// within a level touch disjoint panels and parallelize freely.
 	updaters [][]int32
 	levels   [][]int32
+
+	// updCost[s] estimates the multiply-add count of s's scheduled panel
+	// updates. It drives updateChunk's within-panel split of expensive
+	// panels across workers; a pure function of the pattern, so every
+	// factorization of this analysis tiles identically.
+	updCost []int64
 }
 
 // NNZL returns the number of strictly-lower-triangular entries in the
@@ -444,16 +481,32 @@ func (sym *cholSymbolic) partitionSupernodes(m *CSR, counts []int) {
 	// Update schedule: supernode d updates every supernode owning one of
 	// its rows in column range. Rows are sorted and supernodes are
 	// contiguous column ranges, so same-target rows are consecutive;
-	// iterating d ascending leaves each updaters list ascending.
+	// iterating d ascending leaves each updaters list ascending. Alongside,
+	// accumulate each target's estimated update flops (for a run of nq
+	// target columns starting at row index q0 of d: dw pivots × nq columns ×
+	// (len(rd)−q0) rows, the trapezoid the update kernel walks).
 	sym.updaters = make([][]int32, ns)
+	sym.updCost = make([]int64, ns)
 	for d := 0; d < ns; d++ {
+		dw := int64(sym.snStart[d+1] - sym.snStart[d])
+		rd := sym.rows[d]
 		lastS := int32(-1)
-		for _, r := range sym.rows[d] {
+		runStart := 0
+		for qi, r := range rd {
 			s := sym.snOf[r]
 			if s != lastS {
+				if lastS >= 0 {
+					nq := int64(qi - runStart)
+					sym.updCost[lastS] += dw * nq * int64(len(rd)-runStart)
+				}
 				sym.updaters[s] = append(sym.updaters[s], int32(d))
 				lastS = s
+				runStart = qi
 			}
+		}
+		if lastS >= 0 {
+			nq := int64(len(rd) - runStart)
+			sym.updCost[lastS] += dw * nq * int64(len(rd)-runStart)
 		}
 	}
 
@@ -485,22 +538,18 @@ func (s *cholSymbolic) Supernodes() int { return len(s.snStart) - 1 }
 
 // cholFactor is one numeric supernodal LDLᵀ factorization over a shared
 // symbolic analysis: all panels in one flat column-major array, plus a
-// compressed-column copy of the nonzero entries (cptr/crows/cvals) that
-// single-RHS sweeps traverse — panel traversal only pays off when K columns
-// share it, and the compression drops every relaxation zero from the
-// single-solve flop count. d holds the pivots of D, invD their inverses
-// (for the solve's fused diagonal scale). L is unit-lower-triangular; the
-// diagonal slots inside panels are scratch.
+// compressed copy of the nonzero entries that the sweep kernels traverse —
+// panel traversal only pays off when K columns share it, and the compression
+// drops every relaxation zero from the solve flop count. Exactly one of
+// c64/c32 is set, per the factor's FactorPrecision. d holds the pivots of D,
+// invD their inverses (for the solve's fused diagonal scale). L is unit-
+// lower-triangular; the diagonal slots inside panels are scratch.
 type cholFactor struct {
-	vals  []float64
-	cptr  []int32 // compressed columns (backward sweep)
-	crows []int32
-	cvals []float64
-	rptr  []int32 // compressed rows (forward sweep: gather form, better ILP)
-	rcols []int32
-	rvals []float64
-	d     []float64
-	invD  []float64
+	vals []float64
+	c64  *compFactor[float64]
+	c32  *compFactor[float32]
+	d    []float64
+	invD []float64
 }
 
 // parallelFactorMinN gates the level-parallel factorization: below this the
@@ -510,25 +559,66 @@ type cholFactor struct {
 // same deterministic order.
 const parallelFactorMinN = 2048
 
+// splitFlops is the target per-task multiply-add count when updateChunk
+// splits one panel's update across workers: big enough that task scheduling
+// stays noise (tens of microseconds of arithmetic per task), small enough
+// that the heavy panels near the etree root — where a level holds fewer
+// independent panels than the pool holds workers — fan out instead of
+// serializing their level.
+const splitFlops = 1 << 17
+
+// splitMinCols floors the width of a split update chunk: narrower chunks
+// would starve the 4-column update tiles that make the panel kernel fast.
+const splitMinCols = 4
+
+// updateChunk returns the target-column chunk width used to process (and,
+// on the parallel path, split) supernode s's panel update; w means no
+// split. A pure function of the symbolic analysis, so serial and parallel
+// factorizations walk identical tiles and stay bit-for-bit reproducible at
+// any GOMAXPROCS.
+func (sym *cholSymbolic) updateChunk(s int32) int {
+	w := int(sym.snStart[s+1] - sym.snStart[s])
+	if w <= splitMinCols {
+		return w
+	}
+	nt := int(sym.updCost[s] / splitFlops)
+	if maxT := w / splitMinCols; nt > maxT {
+		nt = maxT
+	}
+	if nt <= 1 {
+		return w
+	}
+	return (w + nt - 1) / nt
+}
+
 // snScratch is the per-worker factorization scratch: the global-row → panel-
-// row map for the current target panel and the update accumulation buffer.
+// row map for the current target panel, the scalar-tail accumulation buffer
+// and the update tiles' scale-factor buffer.
 type snScratch struct {
 	rowLoc []int32
 	wbuf   []float64
+	abuf   []float64
 }
 
 func newSnScratch(sym *cholSymbolic) *snScratch {
-	return &snScratch{rowLoc: make([]int32, sym.n), wbuf: make([]float64, sym.maxNR)}
+	return &snScratch{
+		rowLoc: make([]int32, sym.n),
+		wbuf:   make([]float64, sym.maxNR),
+		abuf:   make([]float64, 4*max(sym.maxW, 1)),
+	}
 }
 
 // factorSupernodal runs the numeric phase: every supernode assembles its
 // panel from the permuted matrix, subtracts the outer-product updates of
-// earlier panels (accumulated densely in a work buffer, then scattered once
-// per target column), and factors the panel with dense left-looking LDLᵀ
-// kernels. Supernodes are scheduled level by level across the worker pool on
-// large systems; each panel's arithmetic is identical in serial and parallel
-// runs, so factors are bit-stable at any GOMAXPROCS.
-func factorSupernodal(m *CSR, sym *cholSymbolic) (*cholFactor, error) {
+// earlier panels through the 4×4 register-blocked tile kernel, and factors
+// the panel with the rank-4 blocked dense LDLᵀ kernel. Supernodes are
+// scheduled level by level across the worker pool on large systems, and a
+// panel whose update cost dominates its level is itself split into column-
+// range tasks (updateChunk) so the pool stays busy near the etree root.
+// Chunking is a pure function of the symbolic analysis and every output
+// entry accumulates its updates in the same deterministic order, so factors
+// are bit-stable at any GOMAXPROCS.
+func factorSupernodal(m *CSR, sym *cholSymbolic, prec FactorPrecision) (*cholFactor, error) {
 	n := sym.n
 	f := &cholFactor{
 		vals: make([]float64, sym.panelLen),
@@ -538,12 +628,17 @@ func factorSupernodal(m *CSR, sym *cholSymbolic) (*cholFactor, error) {
 	ns := sym.Supernodes()
 	if n < parallelFactorMinN || runtime.GOMAXPROCS(0) == 1 {
 		ws := newSnScratch(sym)
-		for s := 0; s < ns; s++ {
-			if err := factorPanel(m, sym, f, int32(s), ws); err != nil {
+		for s := int32(0); int(s) < ns; s++ {
+			w := int(sym.snStart[s+1] - sym.snStart[s])
+			chunk := sym.updateChunk(s)
+			for lo := 0; lo < w; lo += chunk {
+				factorPanelCols(m, sym, f, s, lo, min(lo+chunk, w), ws)
+			}
+			if err := densePanelLDL(sym, f, s); err != nil {
 				return nil, err
 			}
 		}
-		f.compress(sym)
+		f.compress(sym, prec)
 		return f, nil
 	}
 	errs := make([]error, ns)
@@ -551,35 +646,70 @@ func factorSupernodal(m *CSR, sym *cholSymbolic) (*cholFactor, error) {
 	// otherwise allocate levels×workers n-sized buffers per factorization.
 	var scratch sync.Pool
 	scratch.New = func() any { return newSnScratch(sym) }
+	// spans and deferred are rebuilt per level (capacity is reused; every
+	// pool.Run completes before the next level starts).
+	type span struct {
+		s      int32
+		lo, hi int32
+		factor bool // dense-factor the panel right after its only chunk
+	}
+	var spans []span
+	var deferred []int32 // split panels: dense factor runs after all chunks
 	for _, lvl := range sym.levels {
-		pool.Run(len(lvl), 0, func() func(int) {
+		spans = spans[:0]
+		deferred = deferred[:0]
+		for _, s := range lvl {
+			w := int(sym.snStart[s+1] - sym.snStart[s])
+			chunk := sym.updateChunk(s)
+			if chunk >= w {
+				spans = append(spans, span{s: s, lo: 0, hi: int32(w), factor: true})
+				continue
+			}
+			for lo := 0; lo < w; lo += chunk {
+				spans = append(spans, span{s: s, lo: int32(lo), hi: int32(min(lo+chunk, w))})
+			}
+			deferred = append(deferred, s)
+		}
+		ts := spans
+		pool.Run(len(ts), 0, func() func(int) {
 			return func(i int) {
 				ws := scratch.Get().(*snScratch)
-				s := lvl[i]
-				errs[s] = factorPanel(m, sym, f, s, ws)
+				t := ts[i]
+				factorPanelCols(m, sym, f, t.s, int(t.lo), int(t.hi), ws)
+				if t.factor {
+					errs[t.s] = densePanelLDL(sym, f, t.s)
+				}
 				scratch.Put(ws)
 			}
 		})
+		if len(deferred) > 0 {
+			df := deferred
+			pool.Run(len(df), 0, func() func(int) {
+				return func(i int) { errs[df[i]] = densePanelLDL(sym, f, df[i]) }
+			})
+		}
 		for _, s := range lvl {
 			if errs[s] != nil {
 				return nil, errs[s] // lowest-column failure of the level
 			}
 		}
 	}
-	f.compress(sym)
+	f.compress(sym, prec)
 	return f, nil
 }
 
-// compress mirrors the finished panels into the compressed-column view the
-// single-RHS sweeps traverse, dropping zero entries — both the explicit
-// zeros relaxation introduced (so they cost panel flops only where K
-// right-hand sides amortize them) and any true-pattern entries that
-// cancelled to zero in this particular factor (skipping a zero subtraction
-// never changes a solve).
-func (f *cholFactor) compress(sym *cholSymbolic) {
-	f.cptr = make([]int32, sym.n+1)
-	f.crows = make([]int32, 0, sym.slotCap)
-	f.cvals = make([]float64, 0, sym.slotCap)
+// compress mirrors the finished panels into the compressed views the sweep
+// kernels traverse, dropping zero entries — both the explicit zeros
+// relaxation introduced (so they cost panel flops only where the
+// factorization amortizes them) and any true-pattern entries that cancelled
+// to zero in this particular factor (skipping a zero subtraction never
+// changes a solve). Under Float32 the views are stored in single precision
+// (the float64 copies are discarded, so the memory and bandwidth halving is
+// real, not additive).
+func (f *cholFactor) compress(sym *cholSymbolic, prec FactorPrecision) {
+	cptr := make([]int32, sym.n+1)
+	crows := make([]int32, 0, sym.slotCap)
+	cvals := make([]float64, 0, sym.slotCap)
 	ns := sym.Supernodes()
 	for s := 0; s < ns; s++ {
 		c0 := int(sym.snStart[s])
@@ -592,56 +722,78 @@ func (f *cholFactor) compress(sym *cholSymbolic) {
 			col := P[j*nr : (j+1)*nr]
 			for i := j + 1; i < w; i++ {
 				if v := col[i]; v != 0 {
-					f.crows = append(f.crows, int32(c0+i))
-					f.cvals = append(f.cvals, v)
+					crows = append(crows, int32(c0+i))
+					cvals = append(cvals, v)
 				}
 			}
 			for r, v := range col[w:] {
 				if v != 0 {
-					f.crows = append(f.crows, rows[r])
-					f.cvals = append(f.cvals, v)
+					crows = append(crows, rows[r])
+					cvals = append(cvals, v)
 				}
 			}
-			f.cptr[c0+j+1] = int32(len(f.crows))
+			cptr[c0+j+1] = int32(len(crows))
 		}
 	}
 	// Row-form transpose for the forward sweep: entry lists per row, columns
 	// ascending (deterministic counting sort). A gather-form forward runs at
 	// the backward sweep's speed — independent loads into one accumulator —
 	// where the column-scatter form stalls on store-to-load forwarding.
-	nnz := len(f.crows)
-	f.rptr = make([]int32, sym.n+1)
-	for _, r := range f.crows {
-		f.rptr[r+1]++
+	nnz := len(crows)
+	rptr := make([]int32, sym.n+1)
+	for _, r := range crows {
+		rptr[r+1]++
 	}
 	for i := 0; i < sym.n; i++ {
-		f.rptr[i+1] += f.rptr[i]
+		rptr[i+1] += rptr[i]
 	}
-	f.rcols = make([]int32, nnz)
-	f.rvals = make([]float64, nnz)
+	rcols := make([]int32, nnz)
+	rvals := make([]float64, nnz)
 	next := make([]int32, sym.n)
-	copy(next, f.rptr[:sym.n])
+	copy(next, rptr[:sym.n])
 	for j := 0; j < sym.n; j++ {
-		p1 := f.cptr[j+1]
-		for p := f.cptr[j]; p < p1; p++ {
-			r := f.crows[p]
+		p1 := cptr[j+1]
+		for p := cptr[j]; p < p1; p++ {
+			r := crows[p]
 			q := next[r]
 			next[r]++
-			f.rcols[q] = int32(j)
-			f.rvals[q] = f.cvals[p]
+			rcols[q] = int32(j)
+			rvals[q] = cvals[p]
 		}
+	}
+	if prec == Float32 {
+		f.c32 = &compFactor[float32]{
+			cptr: cptr, crows: crows, cvals: shrinkVals(cvals),
+			rptr: rptr, rcols: rcols, rvals: shrinkVals(rvals),
+		}
+		return
+	}
+	f.c64 = &compFactor[float64]{
+		cptr: cptr, crows: crows, cvals: cvals,
+		rptr: rptr, rcols: rcols, rvals: rvals,
 	}
 }
 
-// factorPanel assembles and factors one supernode's panel. All reads from
-// other panels are to supernodes scheduled in earlier levels.
-func factorPanel(m *CSR, sym *cholSymbolic, f *cholFactor, s int32, ws *snScratch) error {
+// shrinkVals rounds a factor value array to single precision.
+func shrinkVals(v []float64) []float32 {
+	out := make([]float32, len(v))
+	for i, x := range v {
+		out[i] = float32(x)
+	}
+	return out
+}
+
+// factorPanelCols assembles target columns [tLo, tHi) of supernode s's panel
+// from the permuted matrix and applies every scheduled outer-product update
+// to them. All reads from other panels are to supernodes scheduled in
+// earlier levels; distinct column ranges of one panel write disjoint memory,
+// so chunks of the same panel run on different workers concurrently.
+func factorPanelCols(m *CSR, sym *cholSymbolic, f *cholFactor, s int32, tLo, tHi int, ws *snScratch) {
 	c0 := int(sym.snStart[s])
 	c1 := int(sym.snStart[s+1])
 	w := c1 - c0
 	rows := sym.rows[s]
-	nb := len(rows)
-	nr := w + nb
+	nr := w + len(rows)
 	P := f.vals[sym.panelPtr[s] : sym.panelPtr[s]+nr*w]
 
 	rowLoc := ws.rowLoc
@@ -653,7 +805,7 @@ func factorPanel(m *CSR, sym *cholSymbolic, f *cholFactor, s int32, ws *snScratc
 	}
 
 	// Assemble the lower part of the permuted matrix columns.
-	for j := c0; j < c1; j++ {
+	for j := c0 + tLo; j < c0+tHi; j++ {
 		col := P[(j-c0)*nr:]
 		row := sym.perm[j]
 		for p := m.RowPtr[row]; p < m.RowPtr[row+1]; p++ {
@@ -663,16 +815,24 @@ func factorPanel(m *CSR, sym *cholSymbolic, f *cholFactor, s int32, ws *snScratc
 		}
 	}
 
-	// Outer-product updates from earlier panels, ascending supernode order.
+	// Outer-product updates from earlier panels, ascending supernode order:
+	// 4-column register-blocked tiles, scalar columns on the tail. Both
+	// paths accumulate each output entry over ascending pivots and write it
+	// once, so tiling (and chunk boundaries) never changes the result bits.
+	lo32, hi32 := int32(c0+tLo), int32(c0+tHi)
 	for _, d := range sym.updaters[s] {
 		dc0 := int(sym.snStart[d])
 		dw := int(sym.snStart[d+1]) - dc0
 		rd := sym.rows[d]
 		dnr := dw + len(rd)
 		Pd := f.vals[sym.panelPtr[d]:]
-		a := lowerBound32(rd, int32(c0))
-		mEnd := lowerBound32(rd, int32(c1))
-		for q := a; q < mEnd; q++ {
+		dpiv := f.d[dc0 : dc0+dw]
+		q := lowerBound32(rd, lo32)
+		end := lowerBound32(rd, hi32)
+		for ; end-q >= 4; q += 4 {
+			updateTile4(P, nr, Pd, dnr, dw, rd, q, rowLoc, dpiv, ws.abuf)
+		}
+		for ; q < end; q++ {
 			// Target column rows[d][q] of this panel; all of d's rows from q
 			// on land inside the panel (pattern nesting).
 			cj := int(rd[q]) - c0
@@ -683,10 +843,7 @@ func factorPanel(m *CSR, sym *cholSymbolic, f *cholFactor, s int32, ws *snScratc
 			}
 			for t := 0; t < dw; t++ {
 				src := Pd[t*dnr+dw+q : t*dnr+dw+len(rd)]
-				alpha := src[0] * f.d[dc0+t] // L[j,t]·d_t
-				if alpha == 0 {
-					continue
-				}
+				alpha := src[0] * dpiv[t] // L[j,t]·d_t
 				for x, v := range src {
 					wb[x] += v * alpha
 				}
@@ -697,32 +854,6 @@ func factorPanel(m *CSR, sym *cholSymbolic, f *cholFactor, s int32, ws *snScratc
 			}
 		}
 	}
-
-	// Dense left-looking LDLᵀ on the panel.
-	for j := 0; j < w; j++ {
-		colj := P[j*nr : (j+1)*nr]
-		for t := 0; t < j; t++ {
-			colt := P[t*nr : (t+1)*nr]
-			alpha := colt[j] * f.d[c0+t]
-			if alpha == 0 {
-				continue
-			}
-			for i := j; i < nr; i++ {
-				colj[i] -= colt[i] * alpha
-			}
-		}
-		dj := colj[j]
-		if dj <= 0 {
-			return fmt.Errorf("%w: pivot %d (node %d) is %g", ErrNotSPD, c0+j, sym.perm[c0+j], dj)
-		}
-		f.d[c0+j] = dj
-		inv := 1 / dj
-		f.invD[c0+j] = inv
-		for i := j + 1; i < nr; i++ {
-			colj[i] *= inv
-		}
-	}
-	return nil
 }
 
 // lowerBound32 returns the first index of a (sorted ascending) with
@@ -744,10 +875,14 @@ func lowerBound32(a []int32, x int32) int {
 // Immutable after construction and safe for concurrent solves
 // (per-goroutine scratch comes from the Workspace).
 type CholeskyOperator struct {
-	m   *CSR
-	sym *cholSymbolic
-	f   *cholFactor
+	m    *CSR
+	sym  *cholSymbolic
+	f    *cholFactor
+	prec FactorPrecision
 }
+
+// Precision reports the factor storage precision.
+func (c *CholeskyOperator) Precision() FactorPrecision { return c.prec }
 
 // Matrix exposes the underlying CSR (read-only).
 func (c *CholeskyOperator) Matrix() *CSR { return c.m }
@@ -776,10 +911,12 @@ func (c *CholeskyOperator) Apply(x, dst []float64) {
 	c.m.MulVec(x, dst)
 }
 
-// Solve implements Operator: permute, forward-substitute through L panel by
-// panel, scale by D⁻¹, back-substitute through Lᵀ, permute back. Exact
-// (direct), so the warm start is ignored. Allocation-free when both dst and
-// ws are provided; dst may alias b.
+// Solve implements Operator: permute, forward-substitute through L in row-
+// gather form, scale by D⁻¹, back-substitute through Lᵀ, permute back (the
+// sweepSolve kernel). Under a Float32 factor the sweep result is polished by
+// one step of float64 iterative refinement against the full-precision
+// matrix. Exact (direct), so the warm start is ignored. Allocation-free when
+// both dst and ws are provided; dst may alias b.
 func (c *CholeskyOperator) Solve(b, _, dst []float64, ws *Workspace) ([]float64, error) {
 	n := c.m.N
 	if len(b) != n {
@@ -793,45 +930,36 @@ func (c *CholeskyOperator) Solve(b, _, dst []float64, ws *Workspace) ([]float64,
 	}
 	ws.LastIterations = 0
 	y := ws.direct(n)
-	perm := c.sym.perm
-	f := c.f
-	// Forward sweep in row-gather form with the right-hand-side permute
-	// fused in: y[j] = b[perm[j]] − Σ_{i<j} L[j,i]·y[i]. Per factor entry
-	// this is the same subtraction, in the same (ascending-column) order, as
-	// a column-scatter sweep — so results are bit-identical to the batched
-	// panel path — but the loads are independent and pipeline freely.
-	rptr, rcols, rvals := f.rptr, f.rcols, f.rvals
-	for j := 0; j < n; j++ {
-		sum := b[perm[j]]
-		p1 := rptr[j+1]
-		for p := rptr[j]; p < p1; p++ {
-			sum -= rvals[p] * y[rcols[p]]
+	if f := c.f; f.c32 != nil {
+		// x̂ lands in scratch (dst may alias b, and the residual still needs
+		// b); refinement reuses the residual buffer for the correction.
+		xh, r := ws.refinePair(n)
+		sweepSolve(f.c32, c.sym.perm, f.invD, y, b, xh)
+		c.m.MulVec(xh, r)
+		for i, bi := range b {
+			r[i] = bi - r[i]
 		}
-		y[j] = sum
-	}
-	// Backward sweep over the compressed columns with the D⁻¹ scale and the
-	// output permute fused: by the time column j is processed, every y it
-	// reads is final.
-	cptr, crows, cvals, invD := f.cptr, f.crows, f.cvals, f.invD
-	for j := n - 1; j >= 0; j-- {
-		sum := y[j] * invD[j]
-		p1 := cptr[j+1]
-		for p := cptr[j]; p < p1; p++ {
-			sum -= cvals[p] * y[crows[p]]
+		sweepSolve(f.c32, c.sym.perm, f.invD, y, r, r)
+		for i := range dst {
+			dst[i] = xh[i] + r[i]
 		}
-		y[j] = sum
-		dst[perm[j]] = sum
+		ws.KernelSolves[0] += 2
+		return dst, nil
 	}
+	sweepSolve(c.f.c64, c.sym.perm, c.f.invD, y, b, dst)
+	ws.KernelSolves[0]++
 	return dst, nil
 }
 
-// SolveBatch implements Operator: right-hand sides are solved four per
-// factor traversal through a register-blocked kernel (the remainder runs
-// through the single-column path). Each column's arithmetic — entry order,
-// fused permutes, fused D⁻¹ — is exactly the single Solve kernel's, so
-// batched and sequential results are bit-identical; the batch only
-// amortizes every factor-entry and index load over four systems.
-// Allocation-free when dst and ws are provided; dst[k] may alias b[k].
+// SolveBatch implements Operator: right-hand sides run through the widest
+// applicable interleaved sweep kernels — greedily 16, then 8, then 4 per
+// factor traversal, the remainder through the single-column path — so a
+// K-wide lockstep batch pays ⌈K/16⌉-ish traversals instead of K. Each
+// column's arithmetic — entry order, fused permutes, fused D⁻¹, refinement
+// under Float32 — is exactly the single Solve kernel's, so batched and
+// sequential results are bit-identical; batching changes memory traffic,
+// never arithmetic. Allocation-free when dst and ws are provided; dst[k]
+// may alias b[k].
 func (c *CholeskyOperator) SolveBatch(b, _, dst [][]float64, ws *Workspace) ([][]float64, error) {
 	n := c.m.N
 	kk := len(b)
@@ -856,8 +984,16 @@ func (c *CholeskyOperator) SolveBatch(b, _, dst [][]float64, ws *Workspace) ([][
 	}
 	ws.LastIterations = 0
 	k := 0
-	for ; k+4 <= kk; k += 4 {
-		c.solve4(b[k], b[k+1], b[k+2], b[k+3], dst[k], dst[k+1], dst[k+2], dst[k+3], ws)
+	for ; kk-k >= 16; k += 16 {
+		c.solveChunk(b[k:k+16], dst[k:k+16], ws)
+	}
+	if kk-k >= 8 {
+		c.solveChunk(b[k:k+8], dst[k:k+8], ws)
+		k += 8
+	}
+	if kk-k >= 4 {
+		c.solveChunk(b[k:k+4], dst[k:k+4], ws)
+		k += 4
 	}
 	for ; k < kk; k++ {
 		if _, err := c.Solve(b[k], nil, dst[k], ws); err != nil {
@@ -867,66 +1003,54 @@ func (c *CholeskyOperator) SolveBatch(b, _, dst [][]float64, ws *Workspace) ([][
 	return dst, nil
 }
 
-// solve4 runs the fused forward/backward sweeps for four right-hand sides at
-// once: the four working vectors interleave (yb[4j..4j+3] is unknown j), so
-// every factor entry loads once and updates four accumulators sitting in
-// registers. Per-column arithmetic is identical to Solve.
-func (c *CholeskyOperator) solve4(b0, b1, b2, b3, x0, x1, x2, x3 []float64, ws *Workspace) {
+// solveChunk solves len(bs) ∈ {4, 8, 16} right-hand sides through one
+// K-wide sweep kernel invocation (two under Float32: solve plus batched
+// refinement correction).
+func (c *CholeskyOperator) solveChunk(bs, xs [][]float64, ws *Workspace) {
 	n := c.m.N
-	yb := ws.batchBuf(n * 4)
+	kw := len(bs)
+	yb := ws.batchBuf(n * kw)
+	widx := kernelWidthIndex(kw)
 	f := c.f
-	perm := c.sym.perm
-	rptr, rcols, rvals := f.rptr, f.rcols, f.rvals
-	for j := 0; j < n; j++ {
-		pj := perm[j]
-		s0, s1, s2, s3 := b0[pj], b1[pj], b2[pj], b3[pj]
-		p1 := rptr[j+1]
-		for p := rptr[j]; p < p1; p++ {
-			ri := int(rcols[p]) * 4
-			v := rvals[p]
-			s0 -= v * yb[ri]
-			s1 -= v * yb[ri+1]
-			s2 -= v * yb[ri+2]
-			s3 -= v * yb[ri+3]
+	if f.c32 != nil {
+		xh, rb := ws.refineBlock(n, kw)
+		sweepSolveK(f.c32, c.sym.perm, f.invD, yb, bs, xh)
+		for k := 0; k < kw; k++ {
+			c.m.MulVec(xh[k], rb[k])
+			rk := rb[k]
+			for i, bi := range bs[k] {
+				rk[i] = bi - rk[i]
+			}
 		}
-		o := j * 4
-		yb[o], yb[o+1], yb[o+2], yb[o+3] = s0, s1, s2, s3
-	}
-	cptr, crows, cvals, invD := f.cptr, f.crows, f.cvals, f.invD
-	for j := n - 1; j >= 0; j-- {
-		o := j * 4
-		d := invD[j]
-		s0, s1, s2, s3 := yb[o]*d, yb[o+1]*d, yb[o+2]*d, yb[o+3]*d
-		p1 := cptr[j+1]
-		for p := cptr[j]; p < p1; p++ {
-			ri := int(crows[p]) * 4
-			v := cvals[p]
-			s0 -= v * yb[ri]
-			s1 -= v * yb[ri+1]
-			s2 -= v * yb[ri+2]
-			s3 -= v * yb[ri+3]
+		sweepSolveK(f.c32, c.sym.perm, f.invD, yb, rb, rb)
+		for k := 0; k < kw; k++ {
+			xk, hk, rk := xs[k], xh[k], rb[k]
+			for i := range xk {
+				xk[i] = hk[i] + rk[i]
+			}
 		}
-		yb[o], yb[o+1], yb[o+2], yb[o+3] = s0, s1, s2, s3
-		pj := perm[j]
-		x0[pj], x1[pj], x2[pj], x3[pj] = s0, s1, s2, s3
+		ws.KernelSolves[widx] += 2
+		return
 	}
+	sweepSolveK(f.c64, c.sym.perm, f.invD, yb, bs, xs)
+	ws.KernelSolves[widx]++
 }
 
 // Shift implements Operator. The shift touches only the diagonal, so the
 // returned operator reuses the receiver's symbolic analysis (ordering,
 // elimination tree, supernode partition, update schedule) and pays for a
-// numeric refactorization only. This is the factor-cache contract
-// backward-Euler stepping relies on.
+// numeric refactorization only, at the receiver's factor precision. This is
+// the factor-cache contract backward-Euler stepping relies on.
 func (c *CholeskyOperator) Shift(diag []float64) (Operator, error) {
 	if len(diag) != c.m.N {
 		return nil, fmt.Errorf("linalg: Shift dimension mismatch %d vs %d", c.m.N, len(diag))
 	}
 	m2 := c.m.Shifted(diag)
-	f, err := factorSupernodal(m2, c.sym)
+	f, err := factorSupernodal(m2, c.sym, c.prec)
 	if err != nil {
 		return nil, err
 	}
-	return &CholeskyOperator{m: m2, sym: c.sym, f: f}, nil
+	return &CholeskyOperator{m: m2, sym: c.sym, f: f, prec: c.prec}, nil
 }
 
 // Diag implements Operator.

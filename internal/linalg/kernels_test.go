@@ -1,0 +1,152 @@
+package linalg
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// Tests for the PR 6 register-blocked kernels: bit-stable multicore
+// factorization (within-panel splits included) and the reduced-precision
+// factor path.
+
+// TestFactorBitIdenticalAcrossGOMAXPROCS: the numeric factorization must
+// produce identical bits at every worker count — serial sweep, 2 workers, 4
+// workers — on a grid big enough that the level schedule runs parallel AND
+// at least one panel is split into within-panel column chunks.
+func TestFactorBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	n, entries := gridEntries(96, 96) // 9216 unknowns, above parallelFactorMinN
+	m := NewCSR(n, entries)
+	sym := analyzeCholesky(m)
+	split := 0
+	for s := int32(0); int(s) < sym.Supernodes(); s++ {
+		if sym.updateChunk(s) < int(sym.snStart[s+1]-sym.snStart[s]) {
+			split++
+		}
+	}
+	if split == 0 {
+		t.Fatalf("no supernode splits on a 96×96 grid: the within-panel path is untested")
+	}
+	t.Logf("split panels: %d of %d", split, sym.Supernodes())
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var ref *cholFactor
+	for _, procs := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(procs)
+		f, err := factorSupernodal(m, sym, Float64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = f
+			continue
+		}
+		for i := range ref.vals {
+			if f.vals[i] != ref.vals[i] {
+				t.Fatalf("GOMAXPROCS=%d: panel value %d: %v vs %v", procs, i, f.vals[i], ref.vals[i])
+			}
+		}
+		for i := range ref.d {
+			if f.d[i] != ref.d[i] {
+				t.Fatalf("GOMAXPROCS=%d: pivot %d: %v vs %v", procs, i, f.d[i], ref.d[i])
+			}
+		}
+	}
+}
+
+// TestFloat32FactorRefinement: the reduced-precision factor with one
+// refinement step must track the float64 factor's solutions to well below
+// the golden drift gate, halve the compressed-value storage, and preserve
+// its precision across Shift.
+func TestFloat32FactorRefinement(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	gn, ge := gridEntries(24, 18)
+	cases := []struct {
+		name    string
+		n       int
+		entries []Coord
+	}{
+		{"grid", gn, ge},
+		{"random", 250, spdEntries(rng, 250)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := NewCSR(c.n, c.entries)
+			op64, err := NewCholeskyOperator(m, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			op32, err := NewCholeskyOperatorPrec(m, 0, Float32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if op32.Precision() != Float32 || op32.f.c32 == nil || op32.f.c64 != nil {
+				t.Fatal("float32 operator did not store a single-precision factor")
+			}
+			b := make([]float64, c.n)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			x64, err := op64.Solve(b, nil, nil, &Workspace{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			x32, err := op32.Solve(b, nil, nil, &Workspace{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := relErr(x64, x32)
+			if e > 1e-9 {
+				t.Fatalf("refined float32 solve drifts from float64 by %g", e)
+			}
+			t.Logf("refined float32 vs float64 drift: %.3g", e)
+			// The residual must be at direct-solve level, not raw-f32 level.
+			r := make([]float64, c.n)
+			op32.Apply(x32, r)
+			num, den := 0.0, 0.0
+			for i := range r {
+				d := r[i] - b[i]
+				num += d * d
+				den += b[i] * b[i]
+			}
+			if num > 1e-24*den {
+				t.Fatalf("refined float32 residual too large: %g", num/den)
+			}
+			// Shift must stay single-precision (the BE factor-cache path).
+			shifted, err := op32.Shift(make([]float64, c.n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if shifted.(*CholeskyOperator).Precision() != Float32 {
+				t.Fatal("Shift dropped the factor precision")
+			}
+		})
+	}
+}
+
+// TestKernelSolveCounters: the workspace must attribute solves to the
+// kernel widths the greedy dispatch actually used.
+func TestKernelSolveCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 120
+	op, err := (CholeskyBackend{}).Assemble(n, spdEntries(rng, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([][]float64, 31) // 16 + 8 + 4 + 3×1
+	for k := range b {
+		b[k] = make([]float64, n)
+		for i := range b[k] {
+			b[k][i] = rng.NormFloat64()
+		}
+	}
+	ws := &Workspace{}
+	if _, err := op.SolveBatch(b, nil, nil, ws); err != nil {
+		t.Fatal(err)
+	}
+	want := [4]int64{3, 1, 1, 1}
+	if ws.KernelSolves != want {
+		t.Fatalf("kernel counters %v, want %v", ws.KernelSolves, want)
+	}
+}

@@ -103,18 +103,25 @@ func TestSupernodePartitionInvariants(t *testing.T) {
 }
 
 // TestSolveBatchMatchesSequential: SolveBatch must agree with K successive
-// Solve calls to the last bit, for every backend, K widths 1..beyond the
-// panel width, warm starts included (CG).
+// Solve calls to the last bit, for every backend (the reduced-precision
+// Cholesky path included), every K in 1..17 — which exercises the 16-, 8-
+// and 4-wide kernels and every ragged tail — plus widths past the lockstep
+// group cap, warm starts included (CG).
 func TestSolveBatchMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	const n = 160
 	entries := spdEntries(rng, n)
-	for _, bk := range []Backend{DenseBackend{}, CholeskyBackend{}, SparseBackend{}} {
+	widths := make([]int, 0, 19)
+	for kk := 1; kk <= 17; kk++ {
+		widths = append(widths, kk)
+	}
+	widths = append(widths, 40, 70)
+	for _, bk := range []Backend{DenseBackend{}, CholeskyBackend{}, CholeskyBackend{Precision: Float32}, SparseBackend{}} {
 		op, err := bk.Assemble(n, entries)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, kk := range []int{1, 2, 3, 7, 40} {
+		for _, kk := range widths {
 			b := make([][]float64, kk)
 			x0 := make([][]float64, kk)
 			for k := range b {
@@ -151,34 +158,41 @@ func TestSolveBatchMatchesSequential(t *testing.T) {
 }
 
 // TestSolveBatchAllocationFree: the batched direct solve must not allocate
-// once workspace and destination buffers exist.
+// once workspace and destination buffers exist — through the 4-, 8- and
+// 16-wide kernels, the mixed-width tail dispatch, and the float32
+// refinement path.
 func TestSolveBatchAllocationFree(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
-	const n, kk = 300, 8
-	op, err := (CholeskyBackend{}).Assemble(n, spdEntries(rng, n))
-	if err != nil {
-		t.Fatal(err)
-	}
-	b := make([][]float64, kk)
-	dst := make([][]float64, kk)
-	for k := range b {
-		b[k] = make([]float64, n)
-		dst[k] = make([]float64, n)
-		for i := range b[k] {
-			b[k][i] = rng.NormFloat64()
-		}
-	}
-	ws := &Workspace{}
-	if _, err := op.SolveBatch(b, nil, dst, ws); err != nil {
-		t.Fatal(err)
-	}
-	allocs := testing.AllocsPerRun(50, func() {
-		if _, err := op.SolveBatch(b, nil, dst, ws); err != nil {
+	const n = 300
+	entries := spdEntries(rng, n)
+	for _, prec := range []FactorPrecision{Float64, Float32} {
+		op, err := (CholeskyBackend{Precision: prec}).Assemble(n, entries)
+		if err != nil {
 			t.Fatal(err)
 		}
-	})
-	if allocs != 0 {
-		t.Fatalf("batched solve allocates %v times per run, want 0", allocs)
+		for _, kk := range []int{4, 8, 16, 23} {
+			b := make([][]float64, kk)
+			dst := make([][]float64, kk)
+			for k := range b {
+				b[k] = make([]float64, n)
+				dst[k] = make([]float64, n)
+				for i := range b[k] {
+					b[k][i] = rng.NormFloat64()
+				}
+			}
+			ws := &Workspace{}
+			if _, err := op.SolveBatch(b, nil, dst, ws); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				if _, err := op.SolveBatch(b, nil, dst, ws); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("prec=%d K=%d: batched solve allocates %v times per run, want 0", prec, kk, allocs)
+			}
+		}
 	}
 }
 
@@ -189,16 +203,22 @@ func TestParallelFactorBitStable(t *testing.T) {
 	n, entries := gridEntries(48, 48) // 2304 unknowns: above parallelFactorMinN
 	m := NewCSR(n, entries)
 	sym := analyzeCholesky(m)
-	// Serial reference.
+	// Serial reference, built through the same per-chunk phases the
+	// factorization schedules.
 	ws := newSnScratch(sym)
 	ref := &cholFactor{vals: make([]float64, sym.panelLen), d: make([]float64, n), invD: make([]float64, n)}
-	for s := 0; s < sym.Supernodes(); s++ {
-		if err := factorPanel(m, sym, ref, int32(s), ws); err != nil {
+	for s := int32(0); int(s) < sym.Supernodes(); s++ {
+		w := int(sym.snStart[s+1] - sym.snStart[s])
+		chunk := sym.updateChunk(s)
+		for lo := 0; lo < w; lo += chunk {
+			factorPanelCols(m, sym, ref, s, lo, min(lo+chunk, w), ws)
+		}
+		if err := densePanelLDL(sym, ref, s); err != nil {
 			t.Fatal(err)
 		}
 	}
-	ref.compress(sym)
-	got, err := factorSupernodal(m, sym)
+	ref.compress(sym, Float64)
+	got, err := factorSupernodal(m, sym, Float64)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,11 +17,12 @@ import (
 // grid) stop paying the factor's full memory traffic once per job per step.
 
 // MaxBatchWidth caps how many right-hand sides one lockstep group solves per
-// factor traversal. The packed block costs n·K floats of workspace; 32
-// columns already amortizes panel loads to noise while keeping the block of
-// a 2048-node model inside L2. Groups wider than this split — per-job
+// factor traversal. The packed block costs n·K floats of workspace; with the
+// PR 6 register-blocked solve kernels a 64-wide group decomposes into four
+// 16-wide kernel passes, amortizing panel loads to noise while a 2048-node
+// model's block still fits in L2. Groups wider than this split — per-job
 // results are unaffected (batching never changes per-column arithmetic).
-const MaxBatchWidth = 32
+const MaxBatchWidth = 64
 
 // BatchSession is a K-wide backward-Euler stepping context over one
 // compiled Solver: one solve workspace, one cached (C/dt + A) operator, and
@@ -170,6 +171,7 @@ func (bs *BatchSession) StepBE(temps, powers [][]float64, dt float64, errs []err
 		st.stepSolveNanos.Add(8 * int64(time.Since(start)))
 	}
 	st.directSteps.Add(int64(width))
+	st.absorbKernels(&bs.ws)
 	return nil
 }
 

@@ -220,6 +220,11 @@ func TestBatchWidthHistogram(t *testing.T) {
 	if st.Supernodes <= 0 || st.MaxPanelRows <= 0 {
 		t.Fatalf("supernodal factor stats missing: %+v", st)
 	}
+	// A width-6 group dispatches greedily onto one 4-wide kernel plus two
+	// singles per step; the per-workspace counters must surface here.
+	if st.KernelSolves["4"] != steps || st.KernelSolves["1"] != 2*steps {
+		t.Fatalf("kernel solve counters: %v, want %d×\"4\" and %d×\"1\"", st.KernelSolves, steps, 2*steps)
+	}
 }
 
 // TestBatchStepAllocationFree gates the batched stepping hot path at zero

@@ -170,6 +170,11 @@ const (
 	HintCholesky
 	// HintCG forces the Jacobi-preconditioned conjugate-gradient backend.
 	HintCG
+	// HintCholeskyF32 forces sparse direct LDLᵀ with the factor stored in
+	// float32 plus one step of iterative refinement per solve: half the
+	// factor memory traffic, accuracy restored to well inside the golden
+	// drift gate (DESIGN.md §9.4). Non-SPD systems fail Compile.
+	HintCholeskyF32
 )
 
 // String names the hint for logs.
@@ -181,6 +186,8 @@ func (h SolverHint) String() string {
 		return "cholesky"
 	case HintCG:
 		return "cg"
+	case HintCholeskyF32:
+		return "cholesky-f32"
 	default:
 		return "auto"
 	}
@@ -246,7 +253,7 @@ type beEntry struct {
 
 // batchWidthBuckets labels the batch-width histogram: how many right-hand
 // sides each batched step solved per factor traversal.
-var batchWidthBuckets = [...]string{"1", "2", "3-4", "5-8", "9-16", "17-32", "33+"}
+var batchWidthBuckets = [...]string{"1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65+"}
 
 // batchBucket maps a batch width to its histogram bucket.
 func batchBucket(w int) int {
@@ -263,10 +270,16 @@ func batchBucket(w int) int {
 		return 4
 	case w <= 32:
 		return 5
-	default:
+	case w <= 64:
 		return 6
+	default:
+		return 7
 	}
 }
+
+// kernelWidthLabels names the solve-kernel widths the direct backend
+// dispatches over (linalg.Workspace.KernelSolves slot order).
+var kernelWidthLabels = [...]string{"1", "4", "8", "16"}
 
 // solverStats holds the solver's atomic counters; SolverStats is the
 // exported snapshot.
@@ -278,10 +291,23 @@ type solverStats struct {
 	cgIterations   atomic.Int64
 	stepSolveNanos atomic.Int64
 	batchHist      [len(batchWidthBuckets)]atomic.Int64
+	kernelSolves   [len(kernelWidthLabels)]atomic.Int64
 }
 
 func (st *solverStats) recordBatchWidth(w int) {
 	st.batchHist[batchBucket(w)].Add(1)
+}
+
+// absorbKernels drains a workspace's per-width kernel-solve counters into
+// the solver's atomics (read-and-reset: workspaces are per-goroutine, the
+// solver aggregate is shared).
+func (st *solverStats) absorbKernels(ws *linalg.Workspace) {
+	for i, v := range ws.KernelSolves {
+		if v != 0 {
+			st.kernelSolves[i].Add(v)
+			ws.KernelSolves[i] = 0
+		}
+	}
 }
 
 // SolverStats is a snapshot of a solver's per-path counters. All counters
@@ -311,9 +337,15 @@ type SolverStats struct {
 	Supernodes   int `json:"supernodes,omitempty"`
 	MaxPanelRows int `json:"max_panel_rows,omitempty"`
 	// BatchWidths histograms the batched solves by how many right-hand
-	// sides each solved per factor traversal (buckets "1".."33+"). Steps
+	// sides each solved per factor traversal (buckets "1".."65+"). Steps
 	// taken through non-batched sessions are not counted here.
 	BatchWidths map[string]int64 `json:"batch_widths,omitempty"`
+	// KernelSolves counts sparse triangular-solve kernel invocations by
+	// register-block width ("1", "4", "8", "16"): one batched step over K
+	// right-hand sides decomposes greedily (e.g. K=31 → one 16-wide, one
+	// 8-wide, one 4-wide and three 1-wide invocations). Float32 factors
+	// count the refinement pass too (two invocations per solve).
+	KernelSolves map[string]int64 `json:"kernel_solves,omitempty"`
 }
 
 // Stats snapshots the solver's per-path counters.
@@ -338,6 +370,14 @@ func (s *Solver) Stats() SolverStats {
 			out.BatchWidths[batchWidthBuckets[i]] = v
 		}
 	}
+	for i := range s.stats.kernelSolves {
+		if v := s.stats.kernelSolves[i].Load(); v > 0 {
+			if out.KernelSolves == nil {
+				out.KernelSolves = make(map[string]int64, len(kernelWidthLabels))
+			}
+			out.KernelSolves[kernelWidthLabels[i]] = v
+		}
+	}
 	return out
 }
 
@@ -349,7 +389,10 @@ func (s *Solver) getWS() *linalg.Workspace {
 	return &linalg.Workspace{}
 }
 
-func (s *Solver) putWS(ws *linalg.Workspace) { s.wsPool.Put(ws) }
+func (s *Solver) putWS(ws *linalg.Workspace) {
+	s.stats.absorbKernels(ws)
+	s.wsPool.Put(ws)
+}
 
 // Compile assembles the network into a solver, auto-selecting the backend:
 // dense LU for networks of at most DenseCutoff nodes, sparse direct LDLᵀ
@@ -375,6 +418,8 @@ func (n *Network) CompileHint(hint SolverHint) (*Solver, error) {
 		return n.CompileWith(linalg.CholeskyBackend{})
 	case HintCG:
 		return n.CompileWith(linalg.SparseBackend{})
+	case HintCholeskyF32:
+		return n.CompileWith(linalg.CholeskyBackend{Precision: linalg.Float32})
 	}
 	if n.N() <= DenseCutoff {
 		return n.CompileWith(linalg.DenseBackend{})
@@ -797,6 +842,7 @@ func (ss *session) stepBE(temp, power []float64, dt float64) error {
 		st.stepSolveNanos.Add(8 * int64(time.Since(start)))
 	}
 	st.directSteps.Add(1)
+	st.absorbKernels(&ss.ws)
 	return nil
 }
 

@@ -19,9 +19,12 @@ import (
 
 // Engine limits: specs are untrusted input and every grid cell is a full
 // co-simulation, so the per-cell step count and the co-simulated CPU cycles
-// are bounded up front instead of discovered by timeout.
+// are bounded up front instead of discovered by timeout. PR 6 raised the
+// step cap from 200k (a 2M-step cell is ~2000 s of simulated time at the
+// 1 ms control interval — long thermal-cycling studies — and the batched
+// solve kernels keep it tractable); the cycle cap is unchanged.
 const (
-	maxCellSteps          = 200_000
+	maxCellSteps          = 2_000_000
 	maxWorkloadCyclesCell = 1_000_000_000
 )
 

@@ -25,6 +25,12 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add([]byte(`{"emergency_c": 80, "phases": [{"duration": 0}]}`))
 	f.Add([]byte(`{"emergency_c": 80, "phases": [{"duration": 1, "workload": "gcc", "pulse": {"block": "x"}}]}`))
 	f.Add([]byte(`{"emergency_c": 80, "phases": [{"duration": 1, "trace": {"names": ["A"], "interval": 1e-3, "rows": [[-5]]}}]}`))
+	f.Add([]byte(`{
+		"emergency_c": 80,
+		"phases": [{"duration": 0.01, "pulse": {"block": "IntReg", "peak_w": 2, "on_s": 2e-3, "off_s": 2e-3}}],
+		"packages": [{"kind": "air-sink"}, {"kind": "oil-silicon"}],
+		"policies": {"trigger_c": [55, 60, 65], "engage_s": [2e-3, 4e-3], "sample_s": [1e-3, 2e-3], "perf_factor": [0.5, 0.8], "actuators": ["fetch-gate", "dvfs"]}
+	}`))
 	f.Add([]byte(`{"bogus": true}`))
 	f.Add([]byte(`[]`))
 	f.Add([]byte(`{} {}`))

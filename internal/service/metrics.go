@@ -129,10 +129,14 @@ type SolverPathStats struct {
 	Supernodes   int64 `json:"supernodes"`
 	MaxPanelRows int   `json:"max_panel_rows"`
 	// BatchWidths histograms batched solves by how many right-hand sides
-	// each solved per factor traversal (buckets "1".."33+"), summed over
+	// each solved per factor traversal (buckets "1".."65+"), summed over
 	// resident models. Sweep, replay-batch and scenario-grid traffic lands
 	// here; single-state stepping does not.
 	BatchWidths map[string]int64 `json:"batch_widths,omitempty"`
+	// KernelSolves counts sparse triangular-solve kernel invocations by
+	// register-block width ("1", "4", "8", "16"), summed over resident
+	// models: how batched steps actually decomposed onto the wide kernels.
+	KernelSolves map[string]int64 `json:"kernel_solves,omitempty"`
 }
 
 // Stats is the /v1/stats payload.
@@ -175,6 +179,12 @@ func (m *metrics) snapshot(cache *ModelCache) Stats {
 				solver.BatchWidths = make(map[string]int64)
 			}
 			solver.BatchWidths[bucket] += count
+		}
+		for width, count := range st.KernelSolves {
+			if solver.KernelSolves == nil {
+				solver.KernelSolves = make(map[string]int64)
+			}
+			solver.KernelSolves[width] += count
 		}
 		if steps := st.DirectSteps + st.CGSteps; steps > 0 {
 			solver.MeanStepSolveUS += float64(st.StepSolveNanos) / 1e3

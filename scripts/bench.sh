@@ -1,51 +1,68 @@
 #!/usr/bin/env bash
 # bench.sh — the solver benchmark harness.
 #
-# Runs the solver-path micro-benchmarks (the root EV6 benchmarks plus the
-# rcnet backend matrix, now including the N=16384/N=65536 reference-grid
-# rows) and emits BENCH_solver.json via cmd/benchreport: ns/op, B/op,
-# allocs/op, custom metrics, GOMAXPROCS and the commit hash. When
-# BENCH_solver.json already exists, its numbers are embedded as the baseline
-# (per-benchmark speedups vs the previous run) AND every prior run is
-# carried forward in the report's `history` array with this run appended —
-# the machine-readable perf trajectory across PRs.
+# Runs the solver-path micro-benchmarks (the root EV6 benchmarks, the rcnet
+# backend matrix with the N=16384/N=65536 reference-grid rows, and the
+# linalg kernel benchmarks: numeric refactorization, solve-kernel widths,
+# f32-vs-f64 factors) and emits BENCH_solver.json via cmd/benchreport:
+# ns/op, B/op, allocs/op, custom metrics, GOMAXPROCS and the commit hash.
+#
+# The suite runs once per GOMAXPROCS value in BENCH_PROCS (default "1 4"):
+# the single-core run is the per-core trajectory row, the multicore run
+# exercises the level-parallel factorization and within-panel splits. Each
+# run chains into the report via -prev, so the history array carries one
+# entry per (commit, gomaxprocs) and baselines/speedups match per core
+# count (see cmd/benchreport).
 #
 # Usage, from the repository root:
 #
-#	./scripts/bench.sh                 # full run, rewrites BENCH_solver.json
-#	BENCHTIME=1x ./scripts/bench.sh    # CI smoke: one iteration per benchmark
-#	OUT=/tmp/b.json ./scripts/bench.sh # write elsewhere
+#	./scripts/bench.sh                   # full run, rewrites BENCH_solver.json
+#	BENCHTIME=1x ./scripts/bench.sh      # CI smoke: one iteration per benchmark
+#	BENCH_PROCS=1 ./scripts/bench.sh     # single-core only
+#	OUT=/tmp/b.json ./scripts/bench.sh   # write elsewhere
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Per-group iteration counts: the EV6 step/solve benchmarks are ~1 µs/op and
-# need many iterations for a stable number, the sweep is ~0.7 ms/op, and the
-# rcnet backend matrix spans ~20 µs to ~330 ms rows (dense N=2048 transient).
-# Setting BENCHTIME overrides all three (CI smoke passes BENCHTIME=1x).
+# need many iterations for a stable number, the sweep is ~0.7 ms/op, the
+# rcnet backend matrix spans ~20 µs to ~330 ms rows (dense N=2048 transient),
+# and the linalg kernel rows sit at ~5-25 ms. Setting BENCHTIME overrides
+# all of them (CI smoke passes BENCHTIME=1x).
 STEP_BENCHTIME="${BENCHTIME:-50000x}"
 SWEEP_BENCHTIME="${BENCHTIME:-1000x}"
 RCNET_BENCHTIME="${BENCHTIME:-20x}"
+KERNEL_BENCHTIME="${BENCHTIME:-20x}"
 OUT="${OUT:-BENCH_solver.json}"
+BENCH_PROCS="${BENCH_PROCS:-1 4}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
-
-echo "== root solver benchmarks (-benchtime $STEP_BENCHTIME)"
-go test -run '^$' -bench 'BenchmarkTransientStepBE$|BenchmarkSteadyStateSolve$' \
-  -benchmem -benchtime "$STEP_BENCHTIME" . | tee -a "$tmp"
-
-echo "== trace replay sweep (-benchtime $SWEEP_BENCHTIME)"
-go test -run '^$' -bench 'BenchmarkTraceReplaySweep$' \
-  -benchmem -benchtime "$SWEEP_BENCHTIME" . | tee -a "$tmp"
-
-echo "== rcnet backend benchmarks (-benchtime $RCNET_BENCHTIME)"
-go test -run '^$' -bench 'BenchmarkBackendSteadyStateSolveOnly|BenchmarkBackendTransientBE' \
-  -benchmem -benchtime "$RCNET_BENCHTIME" ./internal/rcnet | tee -a "$tmp"
-
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
-prev_args=()
-if [ -f "$OUT" ]; then
-  prev_args=(-prev "$OUT")
-fi
-go run ./cmd/benchreport -commit "$commit" "${prev_args[@]}" -out "$OUT" < "$tmp"
+
+for procs in $BENCH_PROCS; do
+  : > "$tmp"
+  echo "=== GOMAXPROCS=$procs ==="
+
+  echo "== root solver benchmarks (-benchtime $STEP_BENCHTIME)"
+  GOMAXPROCS="$procs" go test -run '^$' -bench 'BenchmarkTransientStepBE$|BenchmarkSteadyStateSolve$' \
+    -benchmem -benchtime "$STEP_BENCHTIME" . | tee -a "$tmp"
+
+  echo "== trace replay sweep (-benchtime $SWEEP_BENCHTIME)"
+  GOMAXPROCS="$procs" go test -run '^$' -bench 'BenchmarkTraceReplaySweep$' \
+    -benchmem -benchtime "$SWEEP_BENCHTIME" . | tee -a "$tmp"
+
+  echo "== rcnet backend benchmarks (-benchtime $RCNET_BENCHTIME)"
+  GOMAXPROCS="$procs" go test -run '^$' -bench 'BenchmarkBackendSteadyStateSolveOnly|BenchmarkBackendTransientBE' \
+    -benchmem -benchtime "$RCNET_BENCHTIME" ./internal/rcnet | tee -a "$tmp"
+
+  echo "== linalg kernel benchmarks (-benchtime $KERNEL_BENCHTIME)"
+  GOMAXPROCS="$procs" go test -run '^$' -bench 'BenchmarkCholeskyFactorNumeric|BenchmarkSolveKernelWidths|BenchmarkCholeskySolvePrecision' \
+    -benchmem -benchtime "$KERNEL_BENCHTIME" ./internal/linalg | tee -a "$tmp"
+
+  prev_args=()
+  if [ -f "$OUT" ]; then
+    prev_args=(-prev "$OUT")
+  fi
+  GOMAXPROCS="$procs" go run ./cmd/benchreport -commit "$commit" "${prev_args[@]}" -out "$OUT" < "$tmp"
+done
 echo "wrote $OUT"

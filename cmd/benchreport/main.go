@@ -57,8 +57,13 @@ type HistoryEntry struct {
 	// GOMAXPROCS distinguishes single-core from multicore runs of the same
 	// commit (bench.sh records both). Entries predating the field ran on
 	// single-core CI runners and are read as 1.
-	GOMAXPROCS int                `json:"gomaxprocs,omitempty"`
-	NsPerOp    map[string]float64 `json:"ns_per_op"`
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	// NumCPU is the machine's physical-ish core count (runtime.NumCPU) at
+	// run time. A GOMAXPROCS=4 run on a 1-CPU container time-slices rather
+	// than parallelizes; carrying NumCPU lets readers tag such oversubscribed
+	// rows instead of misreading them as parallel-scaling regressions.
+	NumCPU  int                `json:"num_cpu,omitempty"`
+	NsPerOp map[string]float64 `json:"ns_per_op"`
 }
 
 // procsOf normalizes a history entry's GOMAXPROCS (absent = 1, the
@@ -80,6 +85,7 @@ type Report struct {
 	GOARCH     string      `json:"goarch"`
 	CPU        string      `json:"cpu,omitempty"`
 	GOMAXPROCS int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"num_cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 	// Baseline holds the previous report's numbers; Speedup maps benchmark
 	// name to baseline_ns / current_ns (>1 = faster now) for benchmarks
@@ -126,6 +132,7 @@ func main() {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 	if err := parseBench(rep, bufio.NewScanner(os.Stdin)); err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
@@ -176,7 +183,7 @@ func main() {
 
 // historyEntry condenses a report into its history line.
 func historyEntry(r *Report) HistoryEntry {
-	e := HistoryEntry{Commit: r.Commit, Date: r.Date, GOMAXPROCS: r.GOMAXPROCS, NsPerOp: make(map[string]float64, len(r.Benchmarks))}
+	e := HistoryEntry{Commit: r.Commit, Date: r.Date, GOMAXPROCS: r.GOMAXPROCS, NumCPU: r.NumCPU, NsPerOp: make(map[string]float64, len(r.Benchmarks))}
 	for _, b := range r.Benchmarks {
 		e.NsPerOp[b.Name] = b.NsPerOp
 	}
@@ -243,6 +250,16 @@ func compareReports(basePath, newPath string, thresholdPct float64) {
 		fmt.Printf("benchreport: %s has no run at GOMAXPROCS=%d (skipping comparison)\n", basePath, curProcs)
 		return
 	}
+	// A run with GOMAXPROCS above the machine's core count time-slices
+	// goroutines instead of running them in parallel; its ns/op measures
+	// scheduler contention as much as the code. Such rows are tagged as
+	// informational notices, not regression warnings — a 4-proc row from a
+	// 1-core CI container must not read as a parallel-scaling regression.
+	oversubscribed := cur.NumCPU > 0 && curProcs > cur.NumCPU
+	if oversubscribed {
+		fmt.Printf("::notice title=oversubscribed bench run::GOMAXPROCS=%d exceeds NumCPU=%d; ns/op diffs below are time-sliced, not parallel, and are reported as notices\n",
+			curProcs, cur.NumCPU)
+	}
 	regressions := 0
 	for _, b := range cur.Benchmarks {
 		old, ok := baseNs[b.Name]
@@ -252,8 +269,12 @@ func compareReports(basePath, newPath string, thresholdPct float64) {
 		pct := (b.NsPerOp/old - 1) * 100
 		if pct > thresholdPct {
 			regressions++
-			fmt.Printf("::warning title=bench regression::%s: %.0f ns/op vs baseline %.0f (+%.1f%%, threshold %.0f%%, GOMAXPROCS=%d, baseline commit %s)\n",
-				b.Name, b.NsPerOp, old, pct, thresholdPct, curProcs, baseCommit)
+			level, title := "warning", "bench regression"
+			if oversubscribed {
+				level, title = "notice", "bench regression (oversubscribed run)"
+			}
+			fmt.Printf("::%s title=%s::%s: %.0f ns/op vs baseline %.0f (+%.1f%%, threshold %.0f%%, GOMAXPROCS=%d, NumCPU=%d, baseline commit %s)\n",
+				level, title, b.Name, b.NsPerOp, old, pct, thresholdPct, curProcs, cur.NumCPU, baseCommit)
 		}
 	}
 	if regressions == 0 {

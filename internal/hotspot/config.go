@@ -139,6 +139,22 @@ type SecondaryPathConfig struct {
 	BacksideRAir float64
 }
 
+// ReducedConfig selects Krylov model-order reduction for the compiled RC
+// network (DESIGN.md §10): the conductance system is projected onto a
+// block-Arnoldi basis built from the per-block power-input columns, after
+// which a backward-Euler step is a pre-factored dense solve of dimension
+// Order and a live session's working state is a few KB. The reduction is
+// drift-gated: sampled step residuals against the exact matrix trip an
+// automatic fallback onto the full backend (visible in SolverStats).
+type ReducedConfig struct {
+	// Enabled compiles the model onto the reduced-order solver backend.
+	Enabled bool
+	// Order caps the Krylov basis size (0 = rcnet.DefaultReducedOrder;
+	// always capped at the node count). Larger orders track the full model
+	// more closely and step slower.
+	Order int
+}
+
 // Config assembles a full model description.
 type Config struct {
 	Floorplan    *floorplan.Floorplan
@@ -160,6 +176,7 @@ type Config struct {
 	Oil       OilConfig
 	Micro     MicrochannelConfig
 	Secondary SecondaryPathConfig
+	Reduced   ReducedConfig
 }
 
 // Defaulted returns a copy of cfg with zero values replaced by defaults.
@@ -247,6 +264,9 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.LateralConstriction < 0 {
 		return fmt.Errorf("hotspot: negative lateral constriction")
+	}
+	if cfg.Reduced.Order < 0 {
+		return fmt.Errorf("hotspot: negative reduced order %d", cfg.Reduced.Order)
 	}
 	switch cfg.Package {
 	case AirSink:

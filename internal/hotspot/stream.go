@@ -1,0 +1,93 @@
+package hotspot
+
+import (
+	"fmt"
+
+	"repro/internal/rcnet"
+)
+
+// StreamSession is a per-user streaming simulation context over a
+// reduced-order Model (Config.Reduced.Enabled): thermal state is held in
+// reduced coordinates and one fixed-dt backward-Euler step costs O(order²),
+// independent of the node count (DESIGN.md §10.4). Power updates are
+// per-block and only paid for when they arrive (SetBlockPower projects the
+// vector once); temperatures are expanded on demand. Sampled steps are
+// verified against the exact matrix, and a tripped residual gate
+// transparently moves the session onto the model's full backend.
+//
+// A StreamSession must not be shared between goroutines; a serving host
+// keeps one per streamed user.
+type StreamSession struct {
+	m       *Model
+	rs      *rcnet.ReducedSession
+	nodeP   []float64
+	scratch []float64
+}
+
+// NewStreamSession creates a streaming context stepping at a fixed dt. The
+// model must have been built with Config.Reduced.Enabled.
+func (m *Model) NewStreamSession(dt float64) (*StreamSession, error) {
+	rs, err := m.solver.NewReducedSession(dt)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamSession{m: m, rs: rs, nodeP: make([]float64, m.net.N())}, nil
+}
+
+// Model returns the model this session runs against.
+func (s *StreamSession) Model() *Model { return s.m }
+
+// Reduced reports whether the session still steps in reduced coordinates
+// (false once the residual gate tripped it onto the full backend).
+func (s *StreamSession) Reduced() bool { return s.rs.Reduced() }
+
+// Order returns the reduced dimension the session steps in, 0 on the full
+// path.
+func (s *StreamSession) Order() int { return s.rs.Order() }
+
+// Start seeds the session's node temperatures (Kelvin), typically from
+// Model.SteadyState at the user's initial operating point.
+func (s *StreamSession) Start(temps []float64) error {
+	return s.rs.Start(temps)
+}
+
+// SetBlockPower installs per-block power (Watts, floorplan order) for
+// subsequent steps. Call only when the power actually changes: the vector
+// is expanded and projected here so that Step stays O(order²).
+func (s *StreamSession) SetBlockPower(perBlock []float64) error {
+	fp := s.m.cfg.Floorplan
+	if len(perBlock) != fp.N() {
+		return fmt.Errorf("hotspot: block power length %d, want %d", len(perBlock), fp.N())
+	}
+	for i := range s.nodeP {
+		s.nodeP[i] = 0
+	}
+	for i, p := range perBlock {
+		s.nodeP[s.m.blockNode[i]] = p
+	}
+	return s.rs.SetPower(s.nodeP)
+}
+
+// Step advances the state by one backward-Euler step of the session's dt
+// under the current power.
+func (s *StreamSession) Step() error { return s.rs.Step() }
+
+// Temps writes the current node temperatures (Kelvin) into dst (allocated
+// when nil) and returns it.
+func (s *StreamSession) Temps(dst []float64) []float64 { return s.rs.Temps(dst) }
+
+// BlockTempsC writes the current per-block temperatures in Celsius into dst
+// (allocated when nil) and returns it — the read-out a streaming thermal
+// feed serves. O(n·order) for the expansion plus O(blocks) for the
+// aggregation.
+func (s *StreamSession) BlockTempsC(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, s.m.cfg.Floorplan.N())
+	}
+	if s.scratch == nil {
+		s.scratch = make([]float64, s.m.net.N())
+	}
+	s.rs.Temps(s.scratch)
+	s.m.BlocksCInto(s.scratch, dst)
+	return dst
+}

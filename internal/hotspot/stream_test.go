@@ -1,0 +1,124 @@
+package hotspot
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+// A StreamSession on the EV6 reduced model must track the full model's
+// fixed-dt transient within the reduced drift gate, stay on the reduced
+// path, and serve block read-outs.
+func TestStreamSessionTracksFullTransient(t *testing.T) {
+	cfg := Config{
+		Floorplan: floorplan.EV6(),
+		Package:   OilSilicon,
+		AmbientK:  318.15,
+		Secondary: SecondaryPathConfig{Enabled: true},
+	}
+	full, err := New(cfg)
+	if err != nil {
+		t.Fatalf("full model: %v", err)
+	}
+	rcfg := cfg
+	rcfg.Reduced.Enabled = true
+	red, err := New(rcfg)
+	if err != nil {
+		t.Fatalf("reduced model: %v", err)
+	}
+
+	nb := cfg.Floorplan.N()
+	base := make([]float64, nb)
+	for i := range base {
+		base[i] = 0.4 + 0.05*float64(i%5)
+	}
+	p0, err := full.BlockPowerVector(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := full.SteadyState(p0).Temps
+
+	// Step under 1.3× power from the shared warm start.
+	hot := make([]float64, nb)
+	for i, p := range base {
+		hot[i] = 1.3 * p
+	}
+	pHot, err := full.BlockPowerVector(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt, steps = 1e-3, 200
+	ref := append([]float64(nil), warm...)
+	if err := full.Transient(ref, pHot, dt*steps, dt); err != nil {
+		t.Fatalf("full transient: %v", err)
+	}
+
+	ss, err := red.NewStreamSession(dt)
+	if err != nil {
+		t.Fatalf("NewStreamSession: %v", err)
+	}
+	if ss.Order() <= 0 {
+		t.Fatalf("Order() = %d", ss.Order())
+	}
+	if err := ss.Start(warm); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := ss.SetBlockPower(hot); err != nil {
+		t.Fatalf("SetBlockPower: %v", err)
+	}
+	for i := 0; i < steps; i++ {
+		if err := ss.Step(); err != nil {
+			t.Fatalf("Step %d: %v", i, err)
+		}
+	}
+	if !ss.Reduced() {
+		t.Fatal("stream session tripped onto the full backend on the EV6 basis")
+	}
+	got := ss.Temps(nil)
+	for i := range ref {
+		if d := math.Abs(got[i] - ref[i]); d > reducedDriftGateK {
+			t.Fatalf("node %d: stream %g vs full %g (Δ=%g K)", i, got[i], ref[i], d)
+		}
+	}
+	blocks := ss.BlockTempsC(nil)
+	if len(blocks) != nb {
+		t.Fatalf("BlockTempsC length %d, want %d", len(blocks), nb)
+	}
+	for i, c := range blocks {
+		if c < 40 || c > 200 {
+			t.Fatalf("block %d temperature %g °C outside any plausible range", i, c)
+		}
+	}
+	if st := red.SolverStats(); st.ReducedFallbacks != 0 || st.ReducedSteps == 0 {
+		t.Fatalf("stats: fallbacks=%d reducedSteps=%d", st.ReducedFallbacks, st.ReducedSteps)
+	}
+}
+
+// NewStreamSession requires a reduced model; SetBlockPower validates its
+// length.
+func TestStreamSessionErrors(t *testing.T) {
+	cfg := Config{Floorplan: floorplan.EV6(), Package: OilSilicon, AmbientK: 318.15}
+	full, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.NewStreamSession(1e-3); err == nil {
+		t.Fatal("NewStreamSession on a full model must error")
+	}
+	cfg.Reduced.Enabled = true
+	red, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := red.NewStreamSession(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.SetBlockPower(make([]float64, 3)); err == nil {
+		t.Fatal("SetBlockPower with a short vector must error")
+	}
+	if err := ss.Start(make([]float64, 3)); err == nil {
+		t.Fatal("Start with a short vector must error")
+	}
+}

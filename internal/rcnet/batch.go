@@ -41,6 +41,11 @@ type BatchSession struct {
 	op     linalg.Operator
 	iter   bool
 	nsteps uint64 // batched solves taken; drives the 1-in-8 latency sampling
+
+	// Reduced-path state, mirroring session: see rcnet.go.
+	red   *linalg.ReducedOperator
+	epoch uint32
+	res   []float64
 }
 
 // NewBatchSession creates a K-wide stepping context. Safe to call
@@ -97,7 +102,7 @@ func (bs *BatchSession) StepBE(temps, powers [][]float64, dt float64, errs []err
 				k, len(temps[k]), len(powers[k]), n)
 		}
 	}
-	if bs.op == nil || bs.step != dt {
+	if bs.op == nil || bs.step != dt || (s.reduced != nil && bs.epoch != s.epoch.Load()) {
 		op, err := s.beOperatorCached(dt)
 		if err != nil {
 			return err
@@ -105,6 +110,13 @@ func (bs *BatchSession) StepBE(temps, powers [][]float64, dt float64, errs []err
 		bs.op, bs.step, bs.iter = op, dt, op.Iterative()
 		for i, c := range s.net.cap {
 			bs.capDt[i] = c / dt
+		}
+		bs.red, _ = op.(*linalg.ReducedOperator)
+		if s.reduced != nil {
+			bs.epoch = s.epoch.Load()
+			if bs.red != nil && bs.res == nil {
+				bs.res = make([]float64, n)
+			}
 		}
 	}
 	ambRHS, capDt := s.ambRHS, bs.capDt
@@ -150,6 +162,42 @@ func (bs *BatchSession) StepBE(temps, powers [][]float64, dt float64, errs []err
 		if sample {
 			st.stepSolveNanos.Add(8 * int64(time.Since(start)))
 		}
+		return nil
+	}
+	if bs.red != nil {
+		// Reduced path: per-column solves into slot scratch (there is no
+		// factor traversal to amortize), with a sampled residual check on
+		// the first live slot before any caller state changes.
+		for k := 0; k < kk; k++ {
+			if temps[k] == nil {
+				continue
+			}
+			if _, err := bs.op.Solve(bs.rhs[k], nil, bs.sol[k], &bs.ws); err != nil {
+				return fmt.Errorf("rcnet: backward Euler batch solve: %w", err)
+			}
+		}
+		if sample {
+			st.stepSolveNanos.Add(8 * int64(time.Since(start)))
+			for k := 0; k < kk; k++ {
+				if temps[k] == nil {
+					continue
+				}
+				if !s.checkReducedResidual(bs.red, bs.rhs[k], bs.sol[k], bs.res) {
+					// Gate tripped: redo the whole batch step through the
+					// full backend (no temp has been written yet).
+					bs.op = nil
+					return bs.StepBE(temps, powers, dt, errs)
+				}
+				break
+			}
+		}
+		for k := 0; k < kk; k++ {
+			if temps[k] != nil {
+				copy(temps[k], bs.sol[k])
+			}
+		}
+		st.directSteps.Add(int64(width))
+		st.reducedSteps.Add(int64(width))
 		return nil
 	}
 	// Direct path: one factor traversal for every active slot. Direct

@@ -175,6 +175,12 @@ const (
 	// factor memory traffic, accuracy restored to well inside the golden
 	// drift gate (DESIGN.md §9.4). Non-SPD systems fail Compile.
 	HintCholeskyF32
+	// HintReduced compiles onto the reduced-order (Krylov-projected) backend
+	// with default ReducedSpec settings: block-Arnoldi moment matching, dense
+	// pre-factored backward-Euler steps, automatic fallback to the full
+	// backend when the sampled residual gate trips (DESIGN.md §10). Use
+	// CompileReduced directly to pick the input columns and order.
+	HintReduced
 )
 
 // String names the hint for logs.
@@ -188,6 +194,8 @@ func (h SolverHint) String() string {
 		return "cg"
 	case HintCholeskyF32:
 		return "cholesky-f32"
+	case HintReduced:
+		return "reduced"
 	default:
 		return "auto"
 	}
@@ -240,6 +248,18 @@ type Solver struct {
 	// iterative backend stalls on (see rescueSolve).
 	rescueOnce sync.Once
 	rescue     linalg.Operator
+
+	// Reduced-order state (nil/zero unless compiled via CompileReduced):
+	// reduced is the projection operator, redGate the sampled-residual
+	// threshold, epoch bumps when the gate trips so sessions refetch their
+	// operators, and fullOp is the lazily-assembled full backend the solver
+	// falls back onto (see reduced.go).
+	reduced  *linalg.ReducedOperator
+	redGate  float64
+	epoch    atomic.Uint32
+	fullOnce sync.Once
+	fullOp   linalg.Operator
+	fullErr  error
 }
 
 // beCacheCap bounds the per-solver (dt → operator) cache.
@@ -292,6 +312,9 @@ type solverStats struct {
 	stepSolveNanos atomic.Int64
 	batchHist      [len(batchWidthBuckets)]atomic.Int64
 	kernelSolves   [len(kernelWidthLabels)]atomic.Int64
+
+	reducedSteps     atomic.Int64
+	reducedFallbacks atomic.Int64
 }
 
 func (st *solverStats) recordBatchWidth(w int) {
@@ -346,6 +369,17 @@ type SolverStats struct {
 	// 8-wide, one 4-wide and three 1-wide invocations). Float32 factors
 	// count the refinement pass too (two invocations per solve).
 	KernelSolves map[string]int64 `json:"kernel_solves,omitempty"`
+	// ReducedOrder and ReducedProjError describe the reduced-order backend
+	// (zero on every other path): the Krylov basis size and the worst
+	// relative residual over the input columns at construction time.
+	ReducedOrder     int     `json:"reduced_order,omitempty"`
+	ReducedProjError float64 `json:"reduced_proj_error,omitempty"`
+	// ReducedSteps counts backward-Euler steps solved through the reduced
+	// projection; ReducedFallbacks counts falls back onto the full backend
+	// (at compile, when the basis cannot be built, or at run time, when a
+	// sampled step residual exceeds the gate).
+	ReducedSteps     int64 `json:"reduced_steps,omitempty"`
+	ReducedFallbacks int64 `json:"reduced_fallbacks,omitempty"`
 }
 
 // Stats snapshots the solver's per-path counters.
@@ -362,6 +396,12 @@ func (s *Solver) Stats() SolverStats {
 		out.Supernodes = c.Supernodes()
 		out.MaxPanelRows = c.MaxPanelRows()
 	}
+	if s.reduced != nil {
+		out.ReducedOrder = s.reduced.Order()
+		out.ReducedProjError = s.reduced.ProjectionError()
+	}
+	out.ReducedSteps = s.stats.reducedSteps.Load()
+	out.ReducedFallbacks = s.stats.reducedFallbacks.Load()
 	for i := range s.stats.batchHist {
 		if v := s.stats.batchHist[i].Load(); v > 0 {
 			if out.BatchWidths == nil {
@@ -420,6 +460,8 @@ func (n *Network) CompileHint(hint SolverHint) (*Solver, error) {
 		return n.CompileWith(linalg.SparseBackend{})
 	case HintCholeskyF32:
 		return n.CompileWith(linalg.CholeskyBackend{Precision: linalg.Float32})
+	case HintReduced:
+		return n.CompileReduced(ReducedSpec{})
 	}
 	if n.N() <= DenseCutoff {
 		return n.CompileWith(linalg.DenseBackend{})
@@ -552,7 +594,7 @@ func (s *Solver) FactorInfo() (nnzL int, fillRatio float64, ok bool) {
 }
 
 // Backend returns the name of the linear-algebra backend in use ("dense",
-// "cholesky" or "sparse").
+// "cholesky", "sparse" or "reduced").
 func (s *Solver) Backend() string { return s.backend.Name() }
 
 // SteadyState returns the equilibrium temperatures (Kelvin) for constant
@@ -579,20 +621,24 @@ func (s *Solver) SteadyState(power []float64) []float64 {
 // backend stalls outright (catastrophically ill-conditioned conductances),
 // the solve falls back to a lazily-built dense LU rather than failing.
 func (s *Solver) solveRefined(b, warm []float64, ws *linalg.Workspace) []float64 {
-	x, err := s.op.Solve(b, warm, nil, ws)
+	op := s.baseOp()
+	x, err := op.Solve(b, warm, nil, ws)
 	if err != nil {
 		return s.rescueSolve(b)
 	}
-	if !s.op.Iterative() {
-		return x // direct solve: refinement would buy nothing
+	if !op.Iterative() && s.reduced == nil {
+		return x // exact direct solve: refinement would buy nothing
 	}
+	// Iterative tolerance or reduced projection: one refinement step. (For
+	// the reduced path Apply is the exact matrix, so the step removes the
+	// within-subspace part of the projection error.)
 	r := make([]float64, len(b))
-	s.op.Apply(x, r)
+	op.Apply(x, r)
 	for i := range r {
 		r[i] = b[i] - r[i]
 	}
 	if linalg.Norm2(r) > 1e-14*linalg.Norm2(b) {
-		if d, err := s.op.Solve(r, nil, nil, ws); err == nil {
+		if d, err := op.Solve(r, nil, nil, ws); err == nil {
 			linalg.AXPY(1, d, x)
 		}
 	}
@@ -683,7 +729,7 @@ func (s *Solver) beOperator(dt float64) (linalg.Operator, error) {
 	for i, c := range s.net.cap {
 		shift[i] = c / dt
 	}
-	op, err := s.op.Shift(shift)
+	op, err := s.baseOp().Shift(shift)
 	if err != nil {
 		return nil, fmt.Errorf("rcnet: backward Euler operator: %w", err)
 	}
@@ -773,6 +819,13 @@ type session struct {
 	op       linalg.Operator
 	iter     bool   // op.Iterative(), cached off the hot path
 	nsteps   uint64 // steps taken; drives the 1-in-8 latency sampling
+
+	// Reduced-path state: red is the current operator when it is a reduced
+	// projection (nil otherwise), epoch the solver epoch it was fetched at,
+	// res the residual-check scratch. All unused on full-backend solvers.
+	red   *linalg.ReducedOperator
+	epoch uint32
+	res   []float64
 }
 
 func (s *Solver) newSession() *session {
@@ -794,7 +847,7 @@ func (ss *session) stepBE(temp, power []float64, dt float64) error {
 	if len(power) != net.N() {
 		panic(fmt.Sprintf("rcnet: power vector length %d, want %d", len(power), net.N()))
 	}
-	if ss.op == nil || ss.step != dt {
+	if ss.op == nil || ss.step != dt || (ss.s.reduced != nil && ss.epoch != ss.s.epoch.Load()) {
 		op, err := ss.s.beOperatorCached(dt)
 		if err != nil {
 			return err
@@ -802,6 +855,13 @@ func (ss *session) stepBE(temp, power []float64, dt float64) error {
 		ss.op, ss.step, ss.iter = op, dt, op.Iterative()
 		for i, c := range net.cap {
 			ss.capDt[i] = c / dt
+		}
+		ss.red, _ = op.(*linalg.ReducedOperator)
+		if ss.s.reduced != nil {
+			ss.epoch = ss.s.epoch.Load()
+			if ss.red != nil && ss.res == nil {
+				ss.res = make([]float64, net.N())
+			}
 		}
 	}
 	ambRHS, capDt := ss.s.ambRHS, ss.capDt
@@ -829,6 +889,27 @@ func (ss *session) stepBE(temp, power []float64, dt float64) error {
 		}
 		st.cgSteps.Add(1)
 		st.cgIterations.Add(int64(ss.ws.LastIterations))
+		copy(temp, ss.sol)
+		return nil
+	}
+	if ss.red != nil {
+		// Reduced solves land in session scratch so a sampled residual
+		// check can reject the step before the caller's state changes.
+		if _, err := ss.op.Solve(ss.rhs, nil, ss.sol, &ss.ws); err != nil {
+			return fmt.Errorf("rcnet: backward Euler solve: %w", err)
+		}
+		if sample {
+			st.stepSolveNanos.Add(8 * int64(time.Since(start)))
+			if !ss.s.checkReducedResidual(ss.red, ss.rhs, ss.sol, ss.res) {
+				// Gate tripped: the solver switched to the full backend.
+				// Redo this step through it (temp is still the pre-step
+				// state; the refetch at the top picks up the new epoch).
+				ss.op = nil
+				return ss.stepBE(temp, power, dt)
+			}
+		}
+		st.directSteps.Add(1)
+		st.reducedSteps.Add(1)
 		copy(temp, ss.sol)
 		return nil
 	}
@@ -930,7 +1011,7 @@ func (s *Solver) DominantTimeConstant() float64 {
 	ws := s.getWS()
 	defer s.putWS(ws)
 	solve := func(b, warm []float64) []float64 {
-		x, err := s.op.Solve(b, warm, nil, ws)
+		x, err := s.baseOp().Solve(b, warm, nil, ws)
 		if err != nil {
 			return s.rescueSolve(b)
 		}

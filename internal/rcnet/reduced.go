@@ -1,0 +1,468 @@
+package rcnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// This file holds the reduced-order (MOR) compile path: CompileReduced
+// projects the assembled conductance system onto a block-Krylov basis
+// (linalg.NewReducedOperator), after which every backward-Euler step is a
+// dense O(n·r + r²) solve and a session's working state is a few KB — the
+// per-user serving regime. The projection is approximate, so the stepping
+// layer samples an a-posteriori residual against the exact matrix and trips
+// the solver back onto its full backend when the gate is exceeded
+// (DESIGN.md §10.3); construction failures fall back at compile time.
+
+// DefaultReducedOrder caps the reduced basis size when ReducedSpec.Order is
+// unset. It sits at the top of the useful range: floorplan-scale networks
+// deflate to an exact basis well below it, and grid models keep enough
+// moments for sub-0.1 K transient drift.
+const DefaultReducedOrder = 160
+
+// DefaultReducedResidualGate is the relative backward-Euler residual
+// ‖b − A·x‖/‖b‖ above which a sampled reduced step trips the solver onto
+// its full backend. The right-hand side of a BE step is dominated by the
+// C/dt·T term, so a relative residual of r maps to a per-step temperature
+// error on the order of r·T — 1e-6 keeps accumulated drift well inside the
+// 0.1 K golden gate with a wide margin over the ~1e-12 residuals a healthy
+// basis produces.
+const DefaultReducedResidualGate = 1e-6
+
+// ReducedSpec configures CompileReduced.
+type ReducedSpec struct {
+	// Inputs lists the node indices that carry power injection: they become
+	// the input columns B the Krylov basis is built from (the hotspot layer
+	// passes its per-block silicon nodes). Nil means every node, which
+	// reduces nothing unless Order caps well below N.
+	Inputs []int
+	// Order caps the basis size (0 = DefaultReducedOrder, always capped at
+	// N). Larger orders track the full model more closely and step slower.
+	Order int
+	// Shift is the second moment-matching frequency in rad/s (0 = automatic
+	// selection from the network's conductance/capacitance rates).
+	Shift float64
+	// ResidualGate overrides DefaultReducedResidualGate (0 = default).
+	ResidualGate float64
+}
+
+// reducedBackend is the linalg.Backend tag for solvers compiled through
+// CompileReduced. Assembly needs the capacitances and input columns, which
+// the Backend interface does not carry, so it happens in CompileReduced;
+// the tag exists to name the backend in Solver.Backend and stats.
+type reducedBackend struct{}
+
+func (reducedBackend) Name() string { return "reduced" }
+
+func (reducedBackend) Assemble(int, []linalg.Coord) (linalg.Operator, error) {
+	return nil, fmt.Errorf("rcnet: the reduced backend assembles through CompileReduced")
+}
+
+// CompileReduced assembles the network onto the reduced-order backend: a
+// block-Arnoldi basis over the (G, C, B) system, backward-Euler steps as
+// pre-factored dense solves of dimension Order, full-vector recovery every
+// step. If the reduction cannot be built (non-SPD system, every column
+// deflated), the network compiles onto the regular full backend instead and
+// the fallback is counted in SolverStats; at run time, sampled residual
+// checks against the exact matrix trip the same fallback automatically.
+func (n *Network) CompileReduced(spec ReducedSpec) (*Solver, error) {
+	s, err := n.compileReduced(spec)
+	if err == nil {
+		return s, nil
+	}
+	full, ferr := n.Compile()
+	if ferr != nil {
+		return nil, fmt.Errorf("rcnet: reduced compile failed (%v) and full fallback failed: %w", err, ferr)
+	}
+	full.stats.reducedFallbacks.Add(1)
+	return full, nil
+}
+
+func (n *Network) compileReduced(spec ReducedSpec) (*Solver, error) {
+	sz := n.N()
+	if sz == 0 {
+		return nil, fmt.Errorf("rcnet: empty network")
+	}
+	if err := n.checkGrounded(); err != nil {
+		return nil, err
+	}
+	cols, err := n.inputColumns(spec.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	order := spec.Order
+	if order <= 0 {
+		order = DefaultReducedOrder
+	}
+	g := linalg.NewCSR(sz, n.assemble())
+	op, err := linalg.NewReducedOperator(g, n.cap, cols, order, spec.Shift)
+	if err != nil {
+		return nil, err
+	}
+	inv := make([]float64, sz)
+	for i, c := range n.cap {
+		inv[i] = 1 / c
+	}
+	amb := make([]float64, sz)
+	for i, g := range n.ambG {
+		amb[i] = g * n.ambient
+	}
+	gate := spec.ResidualGate
+	if gate <= 0 {
+		gate = DefaultReducedResidualGate
+	}
+	s := &Solver{
+		net: n, backend: reducedBackend{}, op: op, invCap: inv, ambRHS: amb,
+		beOps: make(map[float64]*beEntry), reduced: op, redGate: gate,
+	}
+	s.stats.factorizations.Add(1)
+	return s, nil
+}
+
+// inputColumns builds the basis input block: one unit column per distinct
+// power-input node (every node when inputs is nil) plus, when present, the
+// constant ambient right-hand-side direction — steady states and warm
+// starts then lie in the very first Krylov block.
+func (n *Network) inputColumns(inputs []int) ([][]float64, error) {
+	sz := n.N()
+	var cols [][]float64
+	if inputs == nil {
+		cols = make([][]float64, 0, sz+1)
+		for i := 0; i < sz; i++ {
+			e := make([]float64, sz)
+			e[i] = 1
+			cols = append(cols, e)
+		}
+	} else {
+		seen := make([]bool, sz)
+		cols = make([][]float64, 0, len(inputs)+1)
+		for _, i := range inputs {
+			if i < 0 || i >= sz {
+				return nil, fmt.Errorf("rcnet: reduced input node %d out of range [0,%d)", i, sz)
+			}
+			if seen[i] {
+				continue
+			}
+			seen[i] = true
+			e := make([]float64, sz)
+			e[i] = 1
+			cols = append(cols, e)
+		}
+	}
+	amb := make([]float64, sz)
+	nonzero := false
+	for i, g := range n.ambG {
+		if g > 0 {
+			amb[i] = g * n.ambient
+			nonzero = true
+		}
+	}
+	if nonzero {
+		cols = append(cols, amb)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("rcnet: reduced compile has no input columns")
+	}
+	return cols, nil
+}
+
+// baseOp returns the conductance operator current solves derive from: the
+// reduced projection until the residual gate trips, the lazily-compiled
+// full-backend operator afterwards.
+func (s *Solver) baseOp() linalg.Operator {
+	if s.reduced != nil && s.epoch.Load() != 0 {
+		if op, err := s.fullOperator(); err == nil {
+			return op
+		}
+	}
+	return s.op
+}
+
+// fullOperator lazily assembles the full-backend conductance operator a
+// tripped reduced solver falls back onto, applying Compile's auto-selection
+// (dense for tiny networks, Cholesky with CG fallback above).
+func (s *Solver) fullOperator() (linalg.Operator, error) {
+	s.fullOnce.Do(func() {
+		sz := s.net.N()
+		entries := s.net.assemble()
+		if sz <= DenseCutoff {
+			s.fullOp, s.fullErr = linalg.DenseBackend{}.Assemble(sz, entries)
+		} else {
+			op, err := linalg.CholeskyBackend{MaxFillRatio: CholeskyMaxFill}.Assemble(sz, entries)
+			if err != nil && (errors.Is(err, linalg.ErrCholeskyFill) || errors.Is(err, linalg.ErrNotSPD) || errors.Is(err, linalg.ErrNotSymmetric)) {
+				op, err = linalg.SparseBackend{}.Assemble(sz, entries)
+			}
+			s.fullOp, s.fullErr = op, err
+		}
+		if s.fullErr == nil && !s.fullOp.Iterative() {
+			s.stats.factorizations.Add(1)
+		}
+	})
+	return s.fullOp, s.fullErr
+}
+
+// tripReduced switches the solver from the reduced projection onto the full
+// backend: the backward-Euler factor cache is dropped (its entries were
+// reduced projections) and the epoch is bumped so every live session
+// refetches its operator on the next step. Idempotent; if the full backend
+// itself cannot assemble, the solver stays on the reduced path rather than
+// failing.
+func (s *Solver) tripReduced() {
+	if s.reduced == nil {
+		return
+	}
+	if _, err := s.fullOperator(); err != nil {
+		return
+	}
+	s.beMu.Lock()
+	if s.epoch.Load() == 0 {
+		s.beOps = make(map[float64]*beEntry)
+		s.stats.reducedFallbacks.Add(1)
+		s.epoch.Add(1)
+	}
+	s.beMu.Unlock()
+}
+
+// ReducedSession is a streaming per-user stepping context that keeps its
+// thermal state in reduced coordinates: one backward-Euler step is an O(r²)
+// dense recurrence ẑ ← Â⁻¹(b̂ + D̂ẑ), independent of the full node count.
+// Full-space Session stepping through a reduced solver still pays O(n·r)
+// per step to project and expand every vector; this session projects the
+// power vector only when it changes (SetPower) and expands temperatures
+// only on reads and on the sampled residual checks — the regime where model
+// order reduction actually beats the sparse direct solve, n ≫ order.
+//
+// The recurrence is exact with respect to full-space reduced stepping once
+// the state lies in span(V); Start projects the seed onto the basis, so
+// seed the session from a steady state solved by the same reduced solver
+// (already in span(V)) for bit-level agreement. Sampled steps verify the
+// a-posteriori residual against the exact matrix exactly like Session
+// stepping does; a tripped gate transparently switches the session (and the
+// solver) onto the full backend, re-doing the offending step there. A
+// ReducedSession must not be used from more than one goroutine at a time.
+type ReducedSession struct {
+	s  *Solver
+	dt float64
+	op *linalg.ReducedOperator // BE-shifted projection; nil once on the full path
+
+	// Propagator-form recurrence state (DESIGN.md §10.4): one step is
+	// znew = csrc + prop·z, a single r² matvec. prop = Â⁻¹D̂ is cached on
+	// the shared operator; csrc = Â⁻¹Vᵀ(p + ambient) is recomputed only by
+	// SetPower.
+	prop          *linalg.Matrix
+	csrc          []float64
+	z, znew, bhat []float64 // reduced state, step scratch, projected source
+	power         []float64 // full-space power behind bhat (residual checks, fallback)
+	temp          []float64 // full-space scratch: pre-step state on sampled checks
+	xnew          []float64 // full-space scratch: candidate state on sampled checks
+	rhs, res      []float64 // exact-rhs and residual scratch for sampled checks
+	capDt         []float64 // C/dt (sampled-check rhs term)
+	ws            linalg.Workspace
+	nsteps        uint64
+	sampleMask    uint64 // residual check every sampleMask+1 steps (power of two)
+	started       bool
+	havePower     bool
+	full          *Session // non-nil once tripped onto the full backend
+}
+
+// NewReducedSession creates a streaming context stepping at a fixed dt.
+// Only solvers compiled through CompileReduced support it; a solver whose
+// residual gate already tripped hands back a session that steps through the
+// full backend from the start.
+func (s *Solver) NewReducedSession(dt float64) (*ReducedSession, error) {
+	if s.reduced == nil {
+		return nil, fmt.Errorf("rcnet: solver was not compiled with CompileReduced")
+	}
+	if !(dt > 0) || math.IsInf(dt, 0) {
+		return nil, fmt.Errorf("rcnet: invalid step %g", dt)
+	}
+	op, err := s.beOperatorCached(dt)
+	if err != nil {
+		return nil, err
+	}
+	n := s.net.N()
+	rs := &ReducedSession{
+		s: s, dt: dt,
+		power: make([]float64, n), temp: make([]float64, n), capDt: make([]float64, n),
+	}
+	for i, c := range s.net.cap {
+		rs.capDt[i] = c / dt
+	}
+	if red, ok := op.(*linalg.ReducedOperator); ok && s.epoch.Load() == 0 {
+		prop, err := red.Propagator()
+		if err != nil {
+			return nil, err
+		}
+		r := red.Order()
+		rs.op, rs.prop = red, prop
+		rs.z, rs.znew, rs.bhat = make([]float64, r), make([]float64, r), make([]float64, r)
+		rs.csrc = make([]float64, r)
+		rs.xnew, rs.rhs, rs.res = make([]float64, n), make([]float64, n), make([]float64, n)
+		// A sampled check costs two O(n·r) expansions against O(r²) steps in
+		// between; stretch the cadence on large networks so its amortized
+		// cost stays a small fraction of the matvec (first step always
+		// checked, so a hopeless basis still trips immediately).
+		cadence := uint64(64)
+		for cadence < uint64(8*n/r) && cadence < 4096 {
+			cadence *= 2
+		}
+		rs.sampleMask = cadence - 1
+	} else {
+		rs.full = s.NewSession()
+	}
+	return rs, nil
+}
+
+// Reduced reports whether the session is still stepping in reduced
+// coordinates (false once tripped onto the full backend).
+func (rs *ReducedSession) Reduced() bool { return rs.full == nil }
+
+// Order returns the reduced dimension the session steps in, 0 on the full
+// path.
+func (rs *ReducedSession) Order() int {
+	if rs.op == nil {
+		return 0
+	}
+	return rs.op.Order()
+}
+
+// Start seeds the session's thermal state (Kelvin, full node vector). On
+// the reduced path the seed is projected onto the basis: a seed already in
+// span(V) — any state produced by this solver — is represented exactly.
+func (rs *ReducedSession) Start(temp []float64) error {
+	if len(temp) != rs.s.net.N() {
+		return fmt.Errorf("rcnet: temperature vector length %d, want %d", len(temp), rs.s.net.N())
+	}
+	copy(rs.temp, temp)
+	if rs.op != nil {
+		rs.op.ReduceInto(temp, rs.z)
+	}
+	rs.started = true
+	return nil
+}
+
+// SetPower installs the per-node power vector for subsequent steps,
+// projecting it onto the basis once (O(n·r)). Call only when the power
+// actually changes; Step is O(order²) in between.
+func (rs *ReducedSession) SetPower(power []float64) error {
+	if len(power) != rs.s.net.N() {
+		return fmt.Errorf("rcnet: power vector length %d, want %d", len(power), rs.s.net.N())
+	}
+	copy(rs.power, power)
+	if rs.op != nil {
+		for i := range rs.rhs {
+			rs.rhs[i] = power[i] + rs.s.ambRHS[i]
+		}
+		rs.op.ReduceInto(rs.rhs, rs.bhat)
+		if err := rs.op.SolveReducedInto(rs.bhat, rs.csrc, &rs.ws); err != nil {
+			return err
+		}
+	}
+	rs.havePower = true
+	return nil
+}
+
+// stepReduced advances z → znew through the propagator recurrence
+// znew = csrc + P·z and swaps the state buffers: one r×r matvec, the whole
+// per-step cost of the reduced path.
+func (rs *ReducedSession) stepReduced() {
+	r := len(rs.z)
+	z, c := rs.z[:r], rs.csrc
+	for a := 0; a < r; a++ {
+		row := rs.prop.Row(a)[:r]
+		var s0, s1, s2, s3 float64
+		j := 0
+		for ; j+3 < r; j += 4 {
+			s0 += row[j] * z[j]
+			s1 += row[j+1] * z[j+1]
+			s2 += row[j+2] * z[j+2]
+			s3 += row[j+3] * z[j+3]
+		}
+		for ; j < r; j++ {
+			s0 += row[j] * z[j]
+		}
+		rs.znew[a] = c[a] + (s0 + s1) + (s2 + s3)
+	}
+	rs.z, rs.znew = rs.znew, rs.z
+}
+
+// Step advances the state by one backward-Euler step of dt under the
+// current power. The first step and periodically sampled ones (every 64
+// steps on small networks, stretched up to every 4096 on large ones to keep
+// the O(n·order) expansion amortized away) are verified against the exact
+// matrix; a residual above the solver's gate trips the session onto the
+// full backend and re-does the step there, so the returned trajectory never
+// includes an unverified-and-rejected state.
+func (rs *ReducedSession) Step() error {
+	if !rs.started {
+		return fmt.Errorf("rcnet: ReducedSession.Step before Start")
+	}
+	if !rs.havePower {
+		return fmt.Errorf("rcnet: ReducedSession.Step before SetPower")
+	}
+	if rs.op != nil && rs.s.epoch.Load() != 0 {
+		// Another session tripped the solver; follow it onto the full path.
+		rs.op.ExpandInto(rs.z, rs.temp)
+		rs.op, rs.full = nil, rs.s.NewSession()
+	}
+	if rs.full != nil {
+		return rs.full.StepBE(rs.temp, rs.power, rs.dt)
+	}
+	st := &rs.s.stats
+	sample := rs.nsteps&rs.sampleMask == 0
+	rs.nsteps++
+	if !sample {
+		rs.stepReduced()
+		st.directSteps.Add(1)
+		st.reducedSteps.Add(1)
+		return nil
+	}
+	// Sampled step: expand the pre-step state, build the exact backward-Euler
+	// right-hand side, take the reduced step, and check the candidate against
+	// the full matrix before committing it.
+	rs.op.ExpandInto(rs.z, rs.temp)
+	for i := range rs.rhs {
+		rs.rhs[i] = rs.power[i] + rs.s.ambRHS[i] + rs.capDt[i]*rs.temp[i]
+	}
+	rs.stepReduced()
+	rs.op.ExpandInto(rs.z, rs.xnew)
+	if !rs.s.checkReducedResidual(rs.op, rs.rhs, rs.xnew, rs.res) {
+		// Gate tripped: undo the swap so rs.temp (pre-step state) seeds the
+		// full backend, then redo the step there and stay there.
+		rs.z, rs.znew = rs.znew, rs.z
+		rs.op, rs.full = nil, rs.s.NewSession()
+		return rs.full.StepBE(rs.temp, rs.power, rs.dt)
+	}
+	st.directSteps.Add(1)
+	st.reducedSteps.Add(1)
+	return nil
+}
+
+// Temps writes the current full-space temperatures into dst (allocated when
+// nil) and returns it. O(n·order) on the reduced path.
+func (rs *ReducedSession) Temps(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, rs.s.net.N())
+	}
+	if rs.full != nil {
+		copy(dst, rs.temp)
+	} else {
+		rs.op.ExpandInto(rs.z, dst)
+	}
+	return dst
+}
+
+// checkReducedResidual samples the a-posteriori quality of one reduced
+// backward-Euler solve: the relative residual of x against the exact
+// shifted matrix. A residual above the gate trips the fallback and reports
+// false, telling the session to redo the step through the full backend.
+func (s *Solver) checkReducedResidual(op *linalg.ReducedOperator, rhs, x, scratch []float64) bool {
+	if op.RelativeResidual(rhs, x, scratch) <= s.redGate {
+		return true
+	}
+	s.tripReduced()
+	return false
+}

@@ -47,6 +47,15 @@ type ModelSpec struct {
 	Secondary bool    `json:"secondary,omitempty"`
 	// AmbientC is the ambient temperature in °C (default 45).
 	AmbientC float64 `json:"ambient_c,omitempty"`
+	// Serving hints the serving shape. "per-user" declares many concurrent
+	// long-lived streaming sessions against this model and auto-selects the
+	// reduced-order backend (DESIGN.md §10); "" or "batch" keeps the default
+	// full backend.
+	Serving string `json:"serving,omitempty"`
+	// Reduced forces the reduced-order backend regardless of Serving.
+	Reduced bool `json:"reduced,omitempty"`
+	// ReducedOrder caps the reduction basis size (0 = solver default).
+	ReducedOrder int `json:"reduced_order,omitempty"`
 }
 
 // maxGridSide bounds synthetic grid floorplans (128×128 blocks ≈ 33k RC
@@ -123,13 +132,28 @@ func (sp ModelSpec) config() (hotspot.Config, error) {
 	if ambientC == 0 {
 		ambientC = 45
 	}
-	return core.BuildConfig(fp, core.PackageSpec{
+	switch sp.Serving {
+	case "", "batch", "per-user":
+	default:
+		return hotspot.Config{}, fmt.Errorf("unknown serving mode %q (have per-user, batch)", sp.Serving)
+	}
+	cfg, err := core.BuildConfig(fp, core.PackageSpec{
 		Kind:      sp.Package,
 		Rconv:     sp.Rconv,
 		Direction: sp.Direction,
 		Secondary: sp.Secondary,
 		AmbientK:  ambientC + 273.15,
 	})
+	if err != nil {
+		return cfg, err
+	}
+	// Per-user streaming means many concurrent sessions each stepping the
+	// same compiled model: the reduced backend's tiny pre-factored solve is
+	// built for exactly that, so the serving hint auto-selects it.
+	if sp.Reduced || sp.Serving == "per-user" {
+		cfg.Reduced = hotspot.ReducedConfig{Enabled: true, Order: sp.ReducedOrder}
+	}
+	return cfg, nil
 }
 
 // TraceSpec is an inline power trace.

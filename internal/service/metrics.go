@@ -1,6 +1,7 @@
 package service
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -36,22 +37,34 @@ func (l *latencyRing) add(ms float64) {
 }
 
 // percentiles returns the requested percentiles (0..100) over the window,
-// plus the total observation count.
-func (l *latencyRing) percentiles(ps ...float64) ([]float64, int) {
+// plus the window size and the total observation count ever recorded (the
+// two diverge once the ring wraps; callers must not conflate them).
+// Percentiles use nearest-rank (ceil) indexing: p's value is the smallest
+// sample with at least p% of the window at or below it. Truncating toward
+// zero instead would bias every percentile low — with 100 samples, p99
+// would land on the 99th-smallest rather than the 100th.
+func (l *latencyRing) percentiles(ps ...float64) (vals []float64, window, total int) {
 	l.mu.Lock()
 	cp := append([]float64(nil), l.buf...)
-	n := l.n
+	total = l.n
 	l.mu.Unlock()
-	out := make([]float64, len(ps))
+	window = len(cp)
+	vals = make([]float64, len(ps))
 	if len(cp) == 0 {
-		return out, n
+		return vals, window, total
 	}
 	sort.Float64s(cp)
 	for i, p := range ps {
-		idx := int(p / 100 * float64(len(cp)-1))
-		out[i] = cp[idx]
+		idx := int(math.Ceil(p/100*float64(len(cp)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(cp) {
+			idx = len(cp) - 1
+		}
+		vals[i] = cp[idx]
 	}
-	return out, n
+	return vals, window, total
 }
 
 // metrics aggregates service counters. All fields are safe for concurrent
@@ -91,12 +104,18 @@ func (m *metrics) requestCounts() map[string]int64 {
 	return out
 }
 
-// LatencyStats summarizes the solve-latency window.
+// LatencyStats summarizes the solve-latency window. The percentiles cover
+// only the Window most recent observations (the ring's contents); Total
+// counts every observation ever recorded. Count is a deprecated alias of
+// Total kept for existing dashboards — it was historically reported next to
+// window-only percentiles as if it were their sample count.
 type LatencyStats struct {
-	Count int     `json:"count"`
-	P50MS float64 `json:"p50_ms"`
-	P90MS float64 `json:"p90_ms"`
-	P99MS float64 `json:"p99_ms"`
+	Count  int     `json:"count"`
+	Window int     `json:"window"`
+	Total  int     `json:"total"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
 }
 
 // SolverPathStats aggregates the per-path linear-solver counters over every
@@ -137,6 +156,27 @@ type SolverPathStats struct {
 	// register-block width ("1", "4", "8", "16"), summed over resident
 	// models: how batched steps actually decomposed onto the wide kernels.
 	KernelSolves map[string]int64 `json:"kernel_solves,omitempty"`
+	// Reduced summarizes the reduced-order models among the residents;
+	// absent when none compiled onto the reduced backend.
+	Reduced *ReducedStats `json:"reduced,omitempty"`
+}
+
+// ReducedStats aggregates reduced-order solver state (DESIGN.md §10) over
+// the resident models that carry a reduction basis.
+type ReducedStats struct {
+	// Models counts resident models on the reduced backend (including any
+	// that have since tripped to their full fallback).
+	Models int `json:"models"`
+	// MaxOrder is the largest reduction basis among them.
+	MaxOrder int `json:"max_order"`
+	// MaxProjError is the worst a-priori projection error estimate
+	// (relative residual of the basis-construction input columns).
+	MaxProjError float64 `json:"max_proj_error"`
+	// Steps counts backward-Euler steps answered by a reduced solve.
+	Steps int64 `json:"steps"`
+	// Fallbacks counts automatic trips to the full backend (construction
+	// failures plus residual-gate violations).
+	Fallbacks int64 `json:"fallbacks"`
 }
 
 // Stats is the /v1/stats payload.
@@ -155,7 +195,7 @@ type Stats struct {
 }
 
 func (m *metrics) snapshot(cache *ModelCache) Stats {
-	ps, n := m.solveLatency.percentiles(50, 90, 99)
+	ps, window, total := m.solveLatency.percentiles(50, 90, 99)
 	cs := cache.Stats()
 	hitRate := 0.0
 	if total := cs.Hits + cs.Misses; total > 0 {
@@ -189,6 +229,21 @@ func (m *metrics) snapshot(cache *ModelCache) Stats {
 		if steps := st.DirectSteps + st.CGSteps; steps > 0 {
 			solver.MeanStepSolveUS += float64(st.StepSolveNanos) / 1e3
 		}
+		if st.ReducedOrder > 0 || st.ReducedFallbacks > 0 {
+			if solver.Reduced == nil {
+				solver.Reduced = &ReducedStats{}
+			}
+			r := solver.Reduced
+			r.Models++
+			if st.ReducedOrder > r.MaxOrder {
+				r.MaxOrder = st.ReducedOrder
+			}
+			if st.ReducedProjError > r.MaxProjError {
+				r.MaxProjError = st.ReducedProjError
+			}
+			r.Steps += st.ReducedSteps
+			r.Fallbacks += st.ReducedFallbacks
+		}
 	}
 	if steps := solver.DirectSteps + solver.CGSteps; steps > 0 {
 		solver.MeanStepSolveUS /= float64(steps)
@@ -203,7 +258,7 @@ func (m *metrics) snapshot(cache *ModelCache) Stats {
 		Queued:            m.queued.Load(),
 		Cache:             cs,
 		CacheHitRate:      hitRate,
-		SolveLatency:      LatencyStats{Count: n, P50MS: ps[0], P90MS: ps[1], P99MS: ps[2]},
+		SolveLatency:      LatencyStats{Count: total, Window: window, Total: total, P50MS: ps[0], P90MS: ps[1], P99MS: ps[2]},
 		Solver:            solver,
 	}
 }

@@ -577,3 +577,71 @@ func TestGridSpecBounds(t *testing.T) {
 		t.Fatal("oversized grid accepted")
 	}
 }
+
+// A per-user serving spec must compile onto the reduced backend, step
+// transients through it, and surface the reduction in /v1/stats — while a
+// default spec of the same model keeps the full backend and a separate
+// cache entry.
+func TestPerUserServingSelectsReducedBackend(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	tr := testTrace(t)
+	req := TransientRequest{
+		Model: ModelSpec{Floorplan: "ev6", Package: "oil-silicon", Serving: "per-user"},
+		Trace: traceSpec(tr),
+	}
+	resp, raw := postJSON(t, ts.URL+"/v1/transient", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out TransientResponse
+	decodeInto(t, raw, &out)
+	if out.Steps == 0 {
+		t.Fatal("no transient steps")
+	}
+
+	st := srv.Stats()
+	if st.Solver.Backends["reduced"] != 1 {
+		t.Fatalf("backends = %v, want one reduced model", st.Solver.Backends)
+	}
+	r := st.Solver.Reduced
+	if r == nil {
+		t.Fatal("stats carry no solver.reduced block")
+	}
+	if r.Models != 1 || r.MaxOrder <= 0 {
+		t.Fatalf("reduced stats %+v", r)
+	}
+	if r.Steps == 0 {
+		t.Fatal("reduced stats count no steps")
+	}
+	if r.Fallbacks != 0 {
+		t.Fatalf("reduced fallbacks = %d on a healthy replay", r.Fallbacks)
+	}
+
+	// The same physical model without the serving hint is a distinct cache
+	// entry on a full backend: the reduction must key the fingerprint.
+	fullReq := req
+	fullReq.Model.Serving = ""
+	if resp, raw := postJSON(t, ts.URL+"/v1/transient", fullReq); resp.StatusCode != http.StatusOK {
+		t.Fatalf("full-model status %d: %s", resp.StatusCode, raw)
+	}
+	st = srv.Stats()
+	if st.Cache.Compiles != 2 {
+		t.Fatalf("compiles = %d, want 2 (reduced and full must not share a cache slot)", st.Cache.Compiles)
+	}
+	if st.Solver.Backends["reduced"] != 1 {
+		t.Fatalf("backends after full run = %v", st.Solver.Backends)
+	}
+}
+
+// An unknown serving mode is a client error, not a silent default.
+func TestUnknownServingModeRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := SteadyRequest{
+		Model: ModelSpec{Floorplan: "ev6", Serving: "sometimes"},
+		Power: map[string]float64{"IntReg": 2.0},
+	}
+	resp, raw := postJSON(t, ts.URL+"/v1/steady", req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+}

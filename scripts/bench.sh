@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # bench.sh — the solver benchmark harness.
 #
-# Runs the solver-path micro-benchmarks (the root EV6 benchmarks, the rcnet
-# backend matrix with the N=16384/N=65536 reference-grid rows, and the
-# linalg kernel benchmarks: numeric refactorization, solve-kernel widths,
-# f32-vs-f64 factors) and emits BENCH_solver.json via cmd/benchreport:
+# Runs the solver-path micro-benchmarks (the root EV6 benchmarks including
+# the reduced-order step and streaming-session rows, the rcnet backend
+# matrix with the N=16384/N=65536 reference-grid rows and the reduced
+# streaming row, and the linalg kernel benchmarks: numeric refactorization,
+# solve-kernel widths, f32-vs-f64 factors) and emits BENCH_solver.json via
+# cmd/benchreport:
 # ns/op, B/op, allocs/op, custom metrics, GOMAXPROCS and the commit hash.
 #
 # The suite runs once per GOMAXPROCS value in BENCH_PROCS (default "1 4"):
@@ -44,7 +46,7 @@ for procs in $BENCH_PROCS; do
   echo "=== GOMAXPROCS=$procs ==="
 
   echo "== root solver benchmarks (-benchtime $STEP_BENCHTIME)"
-  GOMAXPROCS="$procs" go test -run '^$' -bench 'BenchmarkTransientStepBE$|BenchmarkSteadyStateSolve$' \
+  GOMAXPROCS="$procs" go test -run '^$' -bench 'BenchmarkTransientStepBE$|BenchmarkSteadyStateSolve$|BenchmarkReducedStepBE$|BenchmarkReducedSessionStream$' \
     -benchmem -benchtime "$STEP_BENCHTIME" . | tee -a "$tmp"
 
   echo "== trace replay sweep (-benchtime $SWEEP_BENCHTIME)"
@@ -52,7 +54,7 @@ for procs in $BENCH_PROCS; do
     -benchmem -benchtime "$SWEEP_BENCHTIME" . | tee -a "$tmp"
 
   echo "== rcnet backend benchmarks (-benchtime $RCNET_BENCHTIME)"
-  GOMAXPROCS="$procs" go test -run '^$' -bench 'BenchmarkBackendSteadyStateSolveOnly|BenchmarkBackendTransientBE' \
+  GOMAXPROCS="$procs" go test -run '^$' -bench 'BenchmarkBackendSteadyStateSolveOnly|BenchmarkBackendTransientBE|BenchmarkBackendReducedStream' \
     -benchmem -benchtime "$RCNET_BENCHTIME" ./internal/rcnet | tee -a "$tmp"
 
   echo "== linalg kernel benchmarks (-benchtime $KERNEL_BENCHTIME)"

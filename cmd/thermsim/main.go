@@ -12,11 +12,16 @@
 //	# closed-loop DTM policy sweep from a declarative scenario spec
 //	thermsim scenario -spec sweep.json -workers 4
 //
+//	# persist a transient's sampled series, then read a range back
+//	thermsim -flp chip.flp -ptrace chip.ptrace -transient -store ./tstore -run run1
+//	thermsim query -store ./tstore -series run1/IntReg -downsample 1e-3
+//
 // With -workload the power comes from the built-in synthetic workload
 // pipeline (gcc/mcf/art); with -ptrace it is read from a HotSpot-format
 // power trace file. The scenario subcommand runs an internal/scenario spec
 // (the same JSON the thermsvc /v1/scenario endpoints accept) and prints
-// per-cell DTM metrics.
+// per-cell DTM metrics. The query subcommand reads a telemetry store
+// written by -store here or by thermsvc.
 package main
 
 import (
@@ -27,12 +32,21 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/floorplan"
+	"repro/internal/hotspot"
 	"repro/internal/trace"
+	"repro/internal/tstore"
 )
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "scenario" {
 		if err := runScenarioCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "thermsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "query" {
+		if err := runQueryCmd(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "thermsim:", err)
 			os.Exit(1)
 		}
@@ -51,9 +65,11 @@ func main() {
 		transient = flag.Bool("transient", false, "run the full power trace transiently (default: steady state of the average)")
 		cycles    = flag.Uint64("cycles", 20_000_000, "simulated cycles for -workload")
 		showMap   = flag.Bool("map", false, "print an ASCII thermal map")
+		storeDir  = flag.String("store", "", "telemetry store directory: persist the -transient sampled series (see 'thermsim query')")
+		runName   = flag.String("run", "run1", "run name prefixing persisted series (-store)")
 	)
 	flag.Parse()
-	if err := run(*flpName, *flpFile, *workload, *ptrace, *pkg, *direction, *rconv, *secondary, *ambientC, *transient, *cycles, *showMap); err != nil {
+	if err := run(*flpName, *flpFile, *workload, *ptrace, *pkg, *direction, *rconv, *secondary, *ambientC, *transient, *cycles, *showMap, *storeDir, *runName); err != nil {
 		fmt.Fprintln(os.Stderr, "thermsim:", err)
 		os.Exit(1)
 	}
@@ -151,7 +167,15 @@ func fileSource(path string, defaultInterval float64) (*powerSource, error) {
 	}, nil
 }
 
-func run(flpName, flpFile, workload, ptrace, pkg, direction string, rconv float64, secondary bool, ambientC float64, transient bool, cycles uint64, showMap bool) error {
+func run(flpName, flpFile, workload, ptrace, pkg, direction string, rconv float64, secondary bool, ambientC float64, transient bool, cycles uint64, showMap bool, storeDir, runName string) error {
+	if storeDir != "" {
+		if !transient {
+			return fmt.Errorf("-store persists the transient series; add -transient")
+		}
+		if err := tstore.ValidRunName(runName); err != nil {
+			return err
+		}
+	}
 	// Floorplan.
 	var fp *floorplan.Floorplan
 	switch {
@@ -241,6 +265,21 @@ func run(flpName, flpFile, workload, ptrace, pkg, direction string, rconv float6
 			}
 		}
 		duration := float64(src.rows) * src.interval
+		if storeDir != "" {
+			st, err := tstore.Open(storeDir, tstore.Options{})
+			if err != nil {
+				return err
+			}
+			w := tstore.NewWriter(st, runName)
+			if err := hotspot.EmitTracePoints(w, "", fp.Names(), pts); err != nil {
+				st.Close()
+				return err
+			}
+			if err := st.Close(); err != nil { // Close flushes staged rows to segments
+				return err
+			}
+			fmt.Printf("\npersisted %d rows under %s/ in %s\n", w.Rows(), runName, storeDir)
+		}
 		fmt.Printf("\ntransient run: %d points over %.4g s\n", len(pts), duration)
 		fmt.Println("block                 final °C   peak °C")
 		for i, n := range fp.Names() {

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/trace"
+	"repro/internal/tstore"
+)
+
+// runQueryCmd implements the "thermsim query" subcommand: open a telemetry
+// store directory (the same layout thermsvc -store serves) and either list
+// its series or print a time-range query — as a table, or as the NDJSON
+// telemetry stream trace.ReadTelemetry decodes (identical to the thermsvc
+// /v1/query/stream wire format).
+func runQueryCmd(args []string) error {
+	fs := flag.NewFlagSet("thermsim query", flag.ContinueOnError)
+	var (
+		storeDir   = fs.String("store", "", "telemetry store directory")
+		series     = fs.String("series", "", "series name (e.g. run1/IntReg)")
+		list       = fs.Bool("list", false, "list stored series instead of querying")
+		fromS      = fs.String("from", "", "range start in seconds (default: series start)")
+		toS        = fs.String("to", "", "range end in seconds, exclusive (default: series end)")
+		downsample = fs.Float64("downsample", 0, "bucket granularity in seconds (0 = raw rows)")
+		ndjson     = fs.Bool("ndjson", false, "emit the NDJSON telemetry stream instead of a table")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: thermsim query -store dir (-list | -series name) [-from s] [-to s] [-downsample s] [-ndjson]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		fs.Usage()
+		return fmt.Errorf("need -store")
+	}
+	st, err := tstore.Open(*storeDir, tstore.Options{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	if *list {
+		infos := st.Series()
+		stats := st.Stats()
+		fmt.Printf("store %s: %d series, %d rows, %d segments, %d bytes\n",
+			st.Dir(), stats.Series, stats.Rows, stats.Segments, stats.Bytes)
+		fmt.Println("series                                   rows  segments     first(s)      last(s)")
+		for _, si := range infos {
+			fmt.Printf("%-38s %6d  %8d  %11.6f  %11.6f\n",
+				si.Name, si.Rows, si.Segments, tstore.Seconds(si.FirstT), tstore.Seconds(si.LastT))
+		}
+		return nil
+	}
+	if *series == "" {
+		fs.Usage()
+		return fmt.Errorf("need -series (or -list)")
+	}
+
+	from, to := -int64(1)<<62, int64(1)<<62
+	if *fromS != "" {
+		sec, err := strconv.ParseFloat(*fromS, 64)
+		if err != nil {
+			return fmt.Errorf("-from: %v", err)
+		}
+		from = tstore.Nanos(sec)
+	}
+	if *toS != "" {
+		sec, err := strconv.ParseFloat(*toS, 64)
+		if err != nil {
+			return fmt.Errorf("-to: %v", err)
+		}
+		to = tstore.Nanos(sec)
+	}
+	res, err := st.Query(*series, from, to, tstore.Nanos(*downsample))
+	if err != nil {
+		return err
+	}
+
+	if *ndjson {
+		enc := json.NewEncoder(os.Stdout)
+		_ = enc.Encode(trace.TelemetryHeader{
+			Series: res.Series, FromNs: res.From, ToNs: res.To, DownsampleNs: res.Downsample,
+		})
+		n := int64(0)
+		for _, r := range res.Rows {
+			_ = enc.Encode(trace.TelemetryRow{TNs: r.T, V: r.V})
+			n++
+		}
+		for _, b := range res.Buckets {
+			_ = enc.Encode(trace.TelemetryBucket{
+				StartNs: b.Start, Count: b.Count, Min: b.Min, Max: b.Max, Mean: b.Mean(), Sum: b.Sum,
+			})
+			n++
+		}
+		_ = enc.Encode(trace.TelemetryTrailer{Done: true, Rows: n})
+		return nil
+	}
+
+	if res.Downsample > 0 {
+		fmt.Printf("%s: %d buckets of %.6g s (%d rollup-served, %d from raw)\n",
+			res.Series, len(res.Buckets), tstore.Seconds(res.Downsample), res.RollupBuckets, res.RawBuckets)
+		fmt.Println("    start(s)  count      min °C      max °C     mean °C")
+		for _, b := range res.Buckets {
+			fmt.Printf("%12.6f  %5d  %10.4f  %10.4f  %10.4f\n",
+				tstore.Seconds(b.Start), b.Count, b.Min, b.Max, b.Mean())
+		}
+		return nil
+	}
+	fmt.Printf("%s: %d rows\n", res.Series, len(res.Rows))
+	fmt.Println("        t(s)          °C")
+	for _, r := range res.Rows {
+		fmt.Printf("%12.6f  %10.4f\n", tstore.Seconds(r.T), r.V)
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"repro/internal/scenario"
+	"repro/internal/tstore"
 )
 
 // runScenarioCmd implements the "thermsim scenario" subcommand: load a
@@ -20,9 +21,11 @@ func runScenarioCmd(args []string) error {
 		specPath = fs.String("spec", "", "scenario spec file (JSON; \"-\" reads stdin)")
 		workers  = fs.Int("workers", 0, "grid worker pool size (0 = GOMAXPROCS)")
 		stream   = fs.Bool("stream", false, "print NDJSON rows as cells finish instead of a table")
+		storeDir = fs.String("store", "", "telemetry store directory: persist each cell's sensed series (see 'thermsim query')")
+		runName  = fs.String("run", "run1", "run name prefixing persisted series (-store)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: thermsim scenario -spec file.json [-workers N] [-stream]")
+		fmt.Fprintln(fs.Output(), "usage: thermsim scenario -spec file.json [-workers N] [-stream] [-store dir -run name]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -31,6 +34,11 @@ func runScenarioCmd(args []string) error {
 	if *specPath == "" {
 		fs.Usage()
 		return fmt.Errorf("need -spec")
+	}
+	if *storeDir != "" {
+		if err := tstore.ValidRunName(*runName); err != nil {
+			return err
+		}
 	}
 	var in io.Reader = os.Stdin
 	if *specPath != "-" {
@@ -66,7 +74,21 @@ func runScenarioCmd(args []string) error {
 			_ = enc.Encode(row)
 		}
 	}
-	results := compiled.RunGrid(nil, *workers, onCell)
+	var results []scenario.CellResult
+	if *storeDir != "" {
+		st, err := tstore.Open(*storeDir, tstore.Options{})
+		if err != nil {
+			return err
+		}
+		w := tstore.NewWriter(st, *runName)
+		results = compiled.RunGridTelemetry(nil, *workers, onCell, w)
+		if err := st.Close(); err != nil { // Close flushes staged rows to segments
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "persisted %d rows under %s/ in %s\n", w.Rows(), *runName, *storeDir)
+	} else {
+		results = compiled.RunGrid(nil, *workers, onCell)
+	}
 	if *stream {
 		return firstCellError(results)
 	}

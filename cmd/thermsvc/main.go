@@ -5,6 +5,7 @@
 // Usage:
 //
 //	thermsvc -addr :8080 -cache 32 -concurrency 4 -queue 64
+//	thermsvc -store /var/lib/thermsvc/tstore   # enable telemetry persistence + /v1/query
 //
 // Example requests (see DESIGN.md §7 for the full API):
 //
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/tstore"
 )
 
 func main() {
@@ -43,15 +45,30 @@ func main() {
 		concurrency = flag.Int("concurrency", 4, "max concurrent solves")
 		queue       = flag.Int("queue", 64, "max queued requests before shedding with 429")
 		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		storeDir    = flag.String("store", "", "telemetry store directory (enables /v1/query and persist=<run>); empty = off")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
 	)
 	flag.Parse()
+
+	var store *tstore.Store
+	if *storeDir != "" {
+		st, err := tstore.Open(*storeDir, tstore.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thermsvc: open store:", err)
+			os.Exit(1)
+		}
+		store = st
+		stats := st.Stats()
+		log.Printf("thermsvc: telemetry store %s (%d series, %d rows recovered)",
+			*storeDir, stats.Series, stats.Rows)
+	}
 
 	srv := service.New(service.Config{
 		CacheCap:       *cacheCap,
 		MaxConcurrent:  *concurrency,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
+		Store:          store,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -78,7 +95,15 @@ func main() {
 
 	log.Printf("thermsvc: listening on %s (cache %d models, %d concurrent solves, queue %d)",
 		*addr, *cacheCap, *concurrency, *queue)
-	if err := srv.Serve(ctx, *addr); err != nil {
+	err := srv.Serve(ctx, *addr)
+	if store != nil {
+		// Close after Serve returns so in-flight persists have finished; Close
+		// flushes every staged row into durable segments.
+		if cerr := store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "thermsvc:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,70 @@
+package hotspot
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+type bufSink struct {
+	series []string
+	ts     []float64
+	vs     []float64
+	failAt int // fail the nth append (1-based); 0 = never
+}
+
+func (b *bufSink) Append(series string, t, v float64) error {
+	if b.failAt > 0 && len(b.series)+1 == b.failAt {
+		return errors.New("sink full")
+	}
+	b.series = append(b.series, series)
+	b.ts = append(b.ts, t)
+	b.vs = append(b.vs, v)
+	return nil
+}
+
+func TestEmitTracePoints(t *testing.T) {
+	pts := []TracePoint{
+		{Time: 0, BlockC: []float64{300, 310}},
+		{Time: 1e-3, BlockC: []float64{301, 311}},
+	}
+	names := []string{"A", "B"}
+
+	var sink bufSink
+	if err := EmitTracePoints(&sink, "run1", names, pts); err != nil {
+		t.Fatal(err)
+	}
+	wantSeries := []string{"run1/A", "run1/B", "run1/A", "run1/B"}
+	wantV := []float64{300, 310, 301, 311}
+	if len(sink.series) != 4 {
+		t.Fatalf("%d appends", len(sink.series))
+	}
+	for i := range wantSeries {
+		if sink.series[i] != wantSeries[i] || sink.vs[i] != wantV[i] {
+			t.Fatalf("append %d: %s=%v, want %s=%v", i, sink.series[i], sink.vs[i], wantSeries[i], wantV[i])
+		}
+	}
+	if sink.ts[0] != 0 || sink.ts[2] != 1e-3 {
+		t.Fatalf("times %v", sink.ts)
+	}
+
+	// Empty prefix: series are the bare block names.
+	sink = bufSink{}
+	if err := EmitTracePoints(&sink, "", names, pts[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if sink.series[0] != "A" || sink.series[1] != "B" {
+		t.Fatalf("bare series %v", sink.series)
+	}
+
+	// Shape mismatch is an error, not a panic.
+	if err := EmitTracePoints(&bufSink{}, "", []string{"A"}, pts); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+
+	// Sink errors propagate with the series attached.
+	err := EmitTracePoints(&bufSink{failAt: 3}, "r", names, pts)
+	if err == nil || !strings.Contains(err.Error(), `"r/A"`) {
+		t.Fatalf("sink error not propagated with series: %v", err)
+	}
+}

@@ -673,6 +673,48 @@ func (c *Compiled) nominalPrepass(ctx context.Context) error {
 // non-nil, aborts unfinished cells with its error once cancelled; finished
 // cells keep their results.
 func (c *Compiled) RunGrid(ctx context.Context, workers int, onCell func(CellResult)) []CellResult {
+	return c.runGrid(ctx, workers, onCell, nil)
+}
+
+// TelemetrySink consumes the per-sensor observed temperatures a telemetry
+// run records. It is the structural twin of hotspot.TelemetrySink (the
+// scenario layer declares its own so the import graph stays flat);
+// tstore.Writer satisfies both. Implementations must be safe for concurrent
+// use: grid workers append from multiple goroutines, though each individual
+// series is only ever written by the one goroutine running its cell.
+type TelemetrySink interface {
+	Append(series string, tSeconds float64, valueC float64) error
+}
+
+// TelemetrySeries returns the series names cell cellIndex emits during a
+// telemetry run: one "cell<index>/<block>" per configured sensor, or the
+// single "cell<index>/hot" oracle series when the spec has no sensors.
+func (c *Compiled) TelemetrySeries(cellIndex int) []string {
+	if len(c.sensorIdx) == 0 {
+		return []string{fmt.Sprintf("cell%d/hot", cellIndex)}
+	}
+	out := make([]string, len(c.sensorIdx))
+	for i, sv := range c.spec.Sensors {
+		out[i] = fmt.Sprintf("cell%d/%s", cellIndex, sv.Block)
+	}
+	return out
+}
+
+// RunGridTelemetry is RunGrid with a telemetry tap: at every controller
+// sample step, each cell appends its sensed temperatures to sink — the
+// per-sensor observed values (sensor block temperature plus offset), or the
+// oracle hottest-block reading when the spec defines no sensors — under the
+// series names TelemetrySeries describes, at the sample's simulation time
+// in seconds. Sampling happens on the exact values the controller sees, so
+// a persisted run is a faithful record of what the DTM loop observed. A
+// sink error fails that cell (Err in its CellResult) without disturbing the
+// rest of the grid. Telemetry never alters the simulation: results are
+// bit-identical to RunGrid's.
+func (c *Compiled) RunGridTelemetry(ctx context.Context, workers int, onCell func(CellResult), sink TelemetrySink) []CellResult {
+	return c.runGrid(ctx, workers, onCell, sink)
+}
+
+func (c *Compiled) runGrid(ctx context.Context, workers int, onCell func(CellResult), sink TelemetrySink) []CellResult {
 	cells := c.Cells()
 	results := make([]CellResult, len(cells))
 	if len(cells) == 0 {
@@ -708,7 +750,7 @@ func (c *Compiled) RunGrid(ctx context.Context, workers int, onCell func(CellRes
 				if end > len(g) {
 					end = len(g)
 				}
-				c.runCellGroup(ctx, pkg, cells, g[off:end], results)
+				c.runCellGroup(ctx, pkg, cells, g[off:end], results, sink)
 				for _, i := range g[off:end] {
 					emit(i)
 				}
@@ -728,6 +770,7 @@ type cellRun struct {
 	blocksC    []float64
 	m          Metrics
 	nonWorkPen float64 // engaged non-workload penalty accumulator
+	tel        []string // telemetry series names, nil unless a sink is attached
 	err        error
 	done       bool
 }
@@ -739,7 +782,7 @@ type cellRun struct {
 // step's power under that engagement — then advance every cell's thermal
 // state in one batched solve, so actuation alters the power of the step it
 // triggers in and its thermal effect reaches the sensors one step later.
-func (c *Compiled) runCellGroup(ctx context.Context, pkg *compiledPackage, cells []Cell, idx []int, results []CellResult) {
+func (c *Compiled) runCellGroup(ctx context.Context, pkg *compiledPackage, cells []Cell, idx []int, results []CellResult, sink TelemetrySink) {
 	kk := len(idx)
 	model := pkg.model
 	runs := make([]*cellRun, kk)
@@ -773,6 +816,9 @@ func (c *Compiled) runCellGroup(ctx context.Context, pkg *compiledPackage, cells
 		r.m.DurationS = float64(c.steps) * c.dt
 		r.m.PeakC = math.Inf(-1)
 		r.m.ObservedPeakC = math.Inf(-1)
+		if sink != nil {
+			r.tel = c.TelemetrySeries(cells[i].Index)
+		}
 		runs[k] = r
 		setup(k, i)
 	}
@@ -809,6 +855,25 @@ func (c *Compiled) runCellGroup(ctx context.Context, pkg *compiledPackage, cells
 				for i, bi := range c.sensorIdx {
 					if v := r.blocksC[bi] + c.sensorOff[i]; v > obs {
 						obs = v
+					}
+				}
+			}
+			if r.tel != nil {
+				// Record exactly what the controller is about to see, at the
+				// sample's simulation time. A sink failure (disk full, store
+				// closed) fails this cell and leaves the group running.
+				tSec := float64(step) * c.dt
+				if len(c.sensorIdx) == 0 {
+					if err := sink.Append(r.tel[0], tSec, obs); err != nil {
+						r.err, r.done = err, true
+						return
+					}
+				} else {
+					for i, bi := range c.sensorIdx {
+						if err := sink.Append(r.tel[i], tSec, r.blocksC[bi]+c.sensorOff[i]); err != nil {
+							r.err, r.done = err, true
+							return
+						}
 					}
 				}
 			}

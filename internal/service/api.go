@@ -20,6 +20,13 @@
 //	POST /v1/invert           IR-camera style power inversion from observed temps
 //	POST /v1/scenario         closed-loop DTM policy-grid sweep (buffered)
 //	POST /v1/scenario/stream  same grid, NDJSON rows as cells finish
+//	GET  /v1/query            telemetry-store range query (buffered)
+//	GET  /v1/query/stream     same query, NDJSON rows/buckets
+//	GET  /v1/query/series     stored-series listing
+//
+// Transient and scenario requests accept a "persist" run name that writes
+// their sampled series into the server's internal/tstore telemetry store
+// (when one is configured), which the query endpoints then serve back.
 package service
 
 import (
@@ -208,7 +215,12 @@ type TransientRequest struct {
 	// MaxPoints caps the returned sample series (0 = all points); the
 	// series is strided evenly, always keeping the final point.
 	MaxPoints int `json:"max_points,omitempty"`
-	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Persist, when set, writes the full (unstrided) sampled series into the
+	// server's telemetry store under this run name: one series per block,
+	// named "<persist>/<block>", queryable via GET /v1/query. Requires the
+	// server to be configured with a store.
+	Persist   string `json:"persist,omitempty"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
 }
 
 // PointJSON is one sampled instant.
@@ -226,6 +238,10 @@ type TransientResponse struct {
 	Steps   int                `json:"steps"`
 	Cache   string             `json:"cache"`
 	SolveMS float64            `json:"solve_ms"`
+	// Persist echoes the request's run name when the series was written to
+	// the telemetry store; PersistedRows counts the rows written.
+	Persist       string `json:"persist,omitempty"`
+	PersistedRows int64  `json:"persisted_rows,omitempty"`
 }
 
 // SweepScenario is one entry of a sweep: a model plus either a steady power

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/tstore"
 )
 
 // latencyRing records the most recent solve latencies (milliseconds) in a
@@ -192,6 +194,9 @@ type Stats struct {
 	CacheHitRate      float64          `json:"cache_hit_rate"`
 	SolveLatency      LatencyStats     `json:"solve_latency"`
 	Solver            SolverPathStats  `json:"solver"`
+	// Telemetry summarizes the attached tstore (absent when the server runs
+	// without one).
+	Telemetry *tstore.Stats `json:"telemetry,omitempty"`
 }
 
 func (m *metrics) snapshot(cache *ModelCache) Stats {

@@ -1,0 +1,326 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tstore"
+)
+
+func getJSON(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp, []byte(sb.String())
+}
+
+func newStoreServer(t *testing.T) (*tstore.Store, *Server, string) {
+	t.Helper()
+	st, err := tstore.Open(t.TempDir(), tstore.Options{FlushRows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv, ts := newTestServer(t, Config{Store: st})
+	return st, srv, ts.URL
+}
+
+// TestQueryWithoutStore: every telemetry endpoint answers 503 when the
+// server has no store, and persist requests answer 400.
+func TestQueryWithoutStore(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, path := range []string{"/v1/query?series=x", "/v1/query/stream?series=x", "/v1/query/series"} {
+		resp, raw := getJSON(t, ts.URL+path)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s: status %d: %s", path, resp.StatusCode, raw)
+		}
+	}
+	resp, raw := postJSON(t, ts.URL+"/v1/transient", TransientRequest{
+		Model:   ModelSpec{Floorplan: "ev6", Package: "air-sink"},
+		Trace:   traceSpec(testTrace(t)),
+		Persist: "run1",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("persist without store: status %d: %s", resp.StatusCode, raw)
+	}
+}
+
+// TestTransientPersistAndQuery is the service-level round trip: a transient
+// replay persisted into the store reads back bit-identically through
+// GET /v1/query, in both buffered and NDJSON-stream form.
+func TestTransientPersistAndQuery(t *testing.T) {
+	_, _, url := newStoreServer(t)
+	resp, raw := postJSON(t, url+"/v1/transient", TransientRequest{
+		Model:   ModelSpec{Floorplan: "ev6", Package: "air-sink"},
+		Trace:   traceSpec(testTrace(t)),
+		Persist: "runs/t1",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out TransientResponse
+	decodeInto(t, raw, &out)
+	wantRows := int64(len(out.Points)) * int64(len(out.Blocks))
+	if out.Persist != "runs/t1" || out.PersistedRows != wantRows {
+		t.Fatalf("persist %q rows %d, want runs/t1 with %d", out.Persist, out.PersistedRows, wantRows)
+	}
+
+	// Buffered query: raw rows must equal the response's sampled series.
+	block := out.Blocks[0]
+	bi := 0
+	resp, raw = getJSON(t, url+"/v1/query?series=runs/t1/"+block)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d: %s", resp.StatusCode, raw)
+	}
+	var q QueryResponse
+	decodeInto(t, raw, &q)
+	if len(q.Rows) != len(out.Points) {
+		t.Fatalf("%d persisted rows, response had %d points", len(q.Rows), len(out.Points))
+	}
+	for i, p := range out.Points {
+		if q.Rows[i].TNs != tstore.Nanos(p.TimeS) || q.Rows[i].V != p.BlockC[bi] {
+			t.Fatalf("row %d: got %+v, want t=%d v=%v", i, q.Rows[i], tstore.Nanos(p.TimeS), p.BlockC[bi])
+		}
+	}
+
+	// Downsampled query in float-seconds form.
+	resp, raw = getJSON(t, url+"/v1/query?series=runs/t1/"+block+"&downsample_s=0.002")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("downsample: status %d: %s", resp.StatusCode, raw)
+	}
+	var dq QueryResponse
+	decodeInto(t, raw, &dq)
+	if len(dq.Buckets) == 0 || dq.DownsampleNs != 2_000_000 {
+		t.Fatalf("downsample response: %d buckets, downsample %d", len(dq.Buckets), dq.DownsampleNs)
+	}
+	var n int64
+	for _, b := range dq.Buckets {
+		n += b.Count
+		if b.Min > b.Max || b.Mean < b.Min || b.Mean > b.Max {
+			t.Fatalf("inconsistent bucket %+v", b)
+		}
+	}
+	if n != int64(len(out.Points)) {
+		t.Fatalf("buckets cover %d rows, want %d", n, len(out.Points))
+	}
+
+	// NDJSON stream decodes through the shared trace schema and matches the
+	// buffered reply.
+	sresp, err := http.Get(url + "/v1/query/stream?series=runs/t1/" + block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	tel, err := trace.ReadTelemetry(sresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel.Header.Series != "runs/t1/"+block || len(tel.Rows) != len(q.Rows) {
+		t.Fatalf("stream header %+v with %d rows, want %d", tel.Header, len(tel.Rows), len(q.Rows))
+	}
+	for i := range q.Rows {
+		if tel.Rows[i] != q.Rows[i] {
+			t.Fatalf("stream row %d: %+v != %+v", i, tel.Rows[i], q.Rows[i])
+		}
+	}
+
+	// Series listing, with and without a prefix filter.
+	resp, raw = getJSON(t, url+"/v1/query/series?prefix=runs/t1/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("series: status %d: %s", resp.StatusCode, raw)
+	}
+	var list SeriesListResponse
+	decodeInto(t, raw, &list)
+	if len(list.Series) != len(out.Blocks) {
+		t.Fatalf("%d listed series, want %d", len(list.Series), len(out.Blocks))
+	}
+	if list.Store.Rows != wantRows {
+		t.Fatalf("store stats claim %d rows, want %d", list.Store.Rows, wantRows)
+	}
+	resp, raw = getJSON(t, url+"/v1/query/series?prefix=no/such/")
+	decodeInto(t, raw, &list)
+	if resp.StatusCode != http.StatusOK || len(list.Series) != 0 {
+		t.Fatalf("prefix miss: status %d, %d series", resp.StatusCode, len(list.Series))
+	}
+
+	// Stats surface the store summary.
+	resp, raw = getJSON(t, url+"/v1/stats")
+	var stats Stats
+	decodeInto(t, raw, &stats)
+	if resp.StatusCode != http.StatusOK || stats.Telemetry == nil || stats.Telemetry.Rows != wantRows {
+		t.Fatalf("stats telemetry: %+v", stats.Telemetry)
+	}
+}
+
+// TestScenarioPersistAndQuery: the scenario endpoints persist sensed
+// telemetry under the run prefix and report the row count in both the
+// buffered response and the streaming trailer.
+func TestScenarioPersistAndQuery(t *testing.T) {
+	_, _, url := newStoreServer(t)
+	spec := `{
+		"name": "persist-grid",
+		"interval": 1e-3,
+		"emergency_c": 1e6,
+		"phases": [{"duration": 0.03,
+			"pulse": {"block": "IntReg", "peak_w": 3, "on_s": 10e-3, "off_s": 10e-3}}],
+		"packages": [{"label": "air", "kind": "air-sink", "rconv": 1.0}],
+		"sensors": [{"block": "IntReg"}],
+		"policies": {"trigger_c": [1e6], "sample_s": [2e-3], "perf_factor": [0.5]}
+	}`
+	resp, raw := postJSON(t, url+"/v1/scenario", ScenarioRequest{
+		Spec: json.RawMessage(spec), Persist: "grid/a",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out ScenarioResponse
+	decodeInto(t, raw, &out)
+	if out.Persist != "grid/a" || out.PersistedRows == 0 {
+		t.Fatalf("persist %q rows %d", out.Persist, out.PersistedRows)
+	}
+	// One cell, one sensor, sampled every other step starting at 0.
+	wantRows := int64((out.Steps + 1) / 2)
+	if out.PersistedRows != wantRows {
+		t.Fatalf("%d persisted rows, want %d (steps=%d)", out.PersistedRows, wantRows, out.Steps)
+	}
+	resp, raw = getJSON(t, url+"/v1/query?series=grid/a/cell0/IntReg")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d: %s", resp.StatusCode, raw)
+	}
+	var q QueryResponse
+	decodeInto(t, raw, &q)
+	if int64(len(q.Rows)) != wantRows {
+		t.Fatalf("%d rows read back, want %d", len(q.Rows), wantRows)
+	}
+
+	// Streaming flavor: trailer carries the persist summary.
+	sresp, err := http.Post(url+"/v1/scenario/stream", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"spec": %s, "persist": "grid/b"}`, spec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	dec := json.NewDecoder(sresp.Body)
+	var trailer ScenarioTrailerJSON
+	for {
+		var line json.RawMessage
+		if err := dec.Decode(&line); err != nil {
+			t.Fatalf("stream decode: %v", err)
+		}
+		var probe struct {
+			Done *bool `json:"done"`
+		}
+		decodeInto(t, line, &probe)
+		if probe.Done != nil {
+			decodeInto(t, line, &trailer)
+			break
+		}
+	}
+	if trailer.Persist != "grid/b" || trailer.PersistedRows != wantRows {
+		t.Fatalf("stream trailer %+v, want grid/b with %d rows", trailer, wantRows)
+	}
+}
+
+// TestQueryParamAndErrorHandling covers the 4xx surface: parameter
+// validation, unknown series, bad run names, and the limit/truncation
+// contract.
+func TestQueryParamAndErrorHandling(t *testing.T) {
+	st, _, url := newStoreServer(t)
+	for i := 0; i < 10; i++ {
+		if err := st.Append("s", int64(i)*1000, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tc := range []struct {
+		path string
+		code int
+	}{
+		{"/v1/query", http.StatusBadRequest},                           // missing series
+		{"/v1/query?series=s&from_ns=zzz", http.StatusBadRequest},      // bad int
+		{"/v1/query?series=s&to_s=abc", http.StatusBadRequest},         // bad float
+		{"/v1/query?series=s&downsample_ns=-5", http.StatusBadRequest}, // negative downsample
+		{"/v1/query?series=s&limit=-1", http.StatusBadRequest},
+		{"/v1/query?series=s&limit=zz", http.StatusBadRequest},
+		{"/v1/query?series=s&timeout_ms=zz", http.StatusBadRequest},
+		{"/v1/query?series=s&from_ns=5&to_ns=5", http.StatusBadRequest}, // empty range
+		{"/v1/query?series=nope", http.StatusNotFound},
+		{"/v1/query/stream?series=nope", http.StatusNotFound},
+	} {
+		resp, raw := getJSON(t, url+tc.path)
+		if resp.StatusCode != tc.code {
+			t.Fatalf("%s: status %d, want %d: %s", tc.path, resp.StatusCode, tc.code, raw)
+		}
+	}
+
+	// Bad persist run names are rejected before any solve work.
+	for _, bad := range []string{"has space", "a//b", "/lead", "trail/", strings.Repeat("x", 200)} {
+		resp, raw := postJSON(t, url+"/v1/transient", TransientRequest{
+			Model:   ModelSpec{Floorplan: "ev6", Package: "air-sink"},
+			Trace:   traceSpec(testTrace(t)),
+			Persist: bad,
+		})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("persist %q: status %d: %s", bad, resp.StatusCode, raw)
+		}
+	}
+
+	// limit truncates and says so; explicit ns range and row values hold.
+	resp, raw := getJSON(t, url+"/v1/query?series=s&from_ns=2000&to_ns=9000&limit=3")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("limit query: status %d: %s", resp.StatusCode, raw)
+	}
+	var q QueryResponse
+	decodeInto(t, raw, &q)
+	if !q.Truncated || len(q.Rows) != 3 || q.Rows[0].TNs != 2000 || q.Rows[2].V != 4 {
+		t.Fatalf("limit query: truncated=%v rows=%+v", q.Truncated, q.Rows)
+	}
+	// A limit above the count leaves the result whole.
+	resp, raw = getJSON(t, url+"/v1/query?series=s&limit=100")
+	var wide QueryResponse
+	decodeInto(t, raw, &wide)
+	if resp.StatusCode != http.StatusOK || wide.Truncated || len(wide.Rows) != 10 {
+		t.Fatalf("wide limit: status %d truncated=%v rows=%d", resp.StatusCode, wide.Truncated, len(wide.Rows))
+	}
+
+	// The stream honors limit too; its trailer counts emitted lines so
+	// ReadTelemetry still verifies completeness.
+	sresp, err := http.Get(url + "/v1/query/stream?series=s&limit=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	tel, err := trace.ReadTelemetry(sresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tel.Rows) != 4 || tel.Trailer.Rows != 4 {
+		t.Fatalf("stream limit: %d rows, trailer %+v", len(tel.Rows), tel.Trailer)
+	}
+
+	// Endpoint counters registered the traffic.
+	resp, raw = getJSON(t, url+"/v1/stats")
+	var stats Stats
+	decodeInto(t, raw, &stats)
+	if resp.StatusCode != http.StatusOK || stats.Requests["query"] == 0 || stats.Requests["query_stream"] == 0 {
+		t.Fatalf("request counters: %+v", stats.Requests)
+	}
+}

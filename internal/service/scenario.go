@@ -20,8 +20,13 @@ type ScenarioRequest struct {
 	// docs/api.md for the schema.
 	Spec json.RawMessage `json:"spec"`
 	// Workers bounds grid parallelism (0 = GOMAXPROCS).
-	Workers   int `json:"workers,omitempty"`
-	TimeoutMS int `json:"timeout_ms,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// Persist, when set, streams every grid cell's sensed telemetry into the
+	// server's tstore under this run name (series
+	// "<persist>/cell<i>/<block>"), queryable via GET /v1/query. Requires
+	// the server to be configured with a store.
+	Persist   string `json:"persist,omitempty"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
 }
 
 // ScenarioPolicyJSON names one grid cell's DTM policy.
@@ -67,12 +72,20 @@ type ScenarioResponse struct {
 	// Solver maps each package label to the linear-solver backend its model
 	// compiled onto ("dense", "cholesky", "sparse").
 	Solver map[string]string `json:"solver,omitempty"`
+	// Persist echoes the request's run name when telemetry was written to
+	// the store; PersistedRows counts the rows written.
+	Persist       string `json:"persist,omitempty"`
+	PersistedRows int64  `json:"persisted_rows,omitempty"`
 }
 
 // ScenarioTrailerJSON is the last NDJSON row of a streamed scenario.
 type ScenarioTrailerJSON struct {
 	Done    bool    `json:"done"`
 	SolveMS float64 `json:"solve_ms"`
+	// Persist/PersistedRows mirror ScenarioResponse when the request asked
+	// for telemetry persistence.
+	Persist       string `json:"persist,omitempty"`
+	PersistedRows int64  `json:"persisted_rows,omitempty"`
 }
 
 func cellJSON(r scenario.CellResult) ScenarioCellJSON {
@@ -150,6 +163,11 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	tw, err := s.persistWriter(req.Persist)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
 	ctx, cancel := s.deadline(r, req.TimeoutMS)
 	defer cancel()
 	release, code, err := s.acquire(ctx)
@@ -170,7 +188,12 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	results := compiled.RunGrid(ctx, req.Workers, nil)
+	var results []scenario.CellResult
+	if tw != nil {
+		results = compiled.RunGridTelemetry(ctx, req.Workers, nil, tw)
+	} else {
+		results = compiled.RunGrid(ctx, req.Workers, nil)
+	}
 	solveMS := float64(time.Since(start)) / float64(time.Millisecond)
 	s.metrics.solveLatency.add(solveMS)
 	if ctx.Err() != nil {
@@ -186,6 +209,15 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		SolveMS:   solveMS,
 		Solver:    compiled.SolverBackends(),
 	}
+	if tw != nil {
+		// Flush so the rows are in durable segments before the response
+		// reports them persisted.
+		if err := tw.Flush(); err != nil {
+			s.fail(w, http.StatusInternalServerError, fmt.Errorf("persist %q: %w", req.Persist, err))
+			return
+		}
+		resp.Persist, resp.PersistedRows = req.Persist, tw.Rows()
+	}
 	for _, cr := range results {
 		resp.Cells = append(resp.Cells, cellJSON(cr))
 	}
@@ -200,6 +232,11 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleScenarioStream(w http.ResponseWriter, r *http.Request) {
 	s.metrics.countRequest("scenario_stream")
 	req, err := decodeScenarioRequest(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	tw, err := s.persistWriter(req.Persist)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
@@ -244,16 +281,29 @@ func (s *Server) handleScenarioStream(w http.ResponseWriter, r *http.Request) {
 		Solver:    compiled.SolverBackends(),
 	})
 	timedOut := false
-	compiled.RunGrid(ctx, req.Workers, func(cr scenario.CellResult) {
+	onCell := func(cr scenario.CellResult) {
 		if cr.Err != nil && ctx.Err() != nil {
 			timedOut = true
 		}
 		emit(cellJSON(cr))
-	})
+	}
+	if tw != nil {
+		compiled.RunGridTelemetry(ctx, req.Workers, onCell, tw)
+	} else {
+		compiled.RunGrid(ctx, req.Workers, onCell)
+	}
 	solveMS := float64(time.Since(start)) / float64(time.Millisecond)
 	s.metrics.solveLatency.add(solveMS)
 	if timedOut {
 		s.metrics.deadlineExceeded.Add(1)
 	}
-	emit(ScenarioTrailerJSON{Done: true, SolveMS: solveMS})
+	trailer := ScenarioTrailerJSON{Done: true, SolveMS: solveMS}
+	if tw != nil {
+		// The stream already committed to 200, so a flush failure surfaces in
+		// the trailer: PersistedRows stays zero and the run name is absent.
+		if err := tw.Flush(); err == nil {
+			trailer.Persist, trailer.PersistedRows = req.Persist, tw.Rows()
+		}
+	}
+	emit(trailer)
 }

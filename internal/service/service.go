@@ -13,6 +13,7 @@ import (
 	"repro/internal/ircam"
 	"repro/internal/pool"
 	"repro/internal/trace"
+	"repro/internal/tstore"
 )
 
 // Config tunes the server.
@@ -28,6 +29,11 @@ type Config struct {
 	// DefaultTimeout is the per-request deadline when the request carries
 	// none (default 30 s).
 	DefaultTimeout time.Duration
+	// Store, when non-nil, enables the telemetry endpoints: transient and
+	// scenario requests can persist their series into it, and GET /v1/query
+	// serves time ranges back out. Without a store the query endpoints
+	// answer 503 and persist requests answer 400.
+	Store *tstore.Store
 }
 
 func (c Config) defaulted() Config {
@@ -76,6 +82,10 @@ func New(cfg Config) *Server {
 	// Unversioned aliases for the scenario endpoints.
 	s.mux.HandleFunc("POST /scenario", s.handleScenario)
 	s.mux.HandleFunc("POST /scenario/stream", s.handleScenarioStream)
+	// Telemetry read path (answers 503 until a store is configured).
+	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/query/stream", s.handleQueryStream)
+	s.mux.HandleFunc("GET /v1/query/series", s.handleQuerySeries)
 	return s
 }
 
@@ -86,7 +96,14 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Cache() *ModelCache { return s.cache }
 
 // Stats returns a snapshot of the server counters.
-func (s *Server) Stats() Stats { return s.metrics.snapshot(s.cache) }
+func (s *Server) Stats() Stats {
+	st := s.metrics.snapshot(s.cache)
+	if s.cfg.Store != nil {
+		ts := s.cfg.Store.Stats()
+		st.Telemetry = &ts
+	}
+	return st
+}
 
 // --- admission control ---
 
@@ -266,7 +283,7 @@ func (c *ctxRowReader) Next(dst []float64) error {
 //   - any other Content-Type: the body is the raw trace stream (ptrace,
 //     CSV or NDJSON, auto-detected) and the model spec arrives in query
 //     parameters (floorplan, flp, package, direction, rconv, secondary,
-//     ambient_c, interval, max_points, timeout_ms). Replay begins as soon
+//     ambient_c, interval, max_points, persist, timeout_ms). Replay begins as soon
 //     as the header line arrives; memory stays O(one row).
 //
 // Streamed and inline replays of the same rows return bit-identical
@@ -368,10 +385,32 @@ func (s *Server) handleTransient(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, code, err)
 		return
 	}
+	var persistedRows int64
+	if tw, err := s.persistWriter(req.Persist); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	} else if tw != nil {
+		// The full sampled series persists (MaxPoints only strides the JSON
+		// reply), then flushes so the rows are in durable segments before the
+		// response claims them persisted.
+		if err := hotspot.EmitTracePoints(tw, "", cm.Model.Floorplan().Names(), pts); err != nil {
+			s.fail(w, http.StatusInternalServerError, fmt.Errorf("persist %q: %w", req.Persist, err))
+			return
+		}
+		if err := tw.Flush(); err != nil {
+			s.fail(w, http.StatusInternalServerError, fmt.Errorf("persist %q: %w", req.Persist, err))
+			return
+		}
+		persistedRows = tw.Rows()
+	}
 	solveMS := float64(time.Since(start)) / float64(time.Millisecond)
 	s.metrics.solveLatency.add(solveMS)
 
-	writeJSON(w, http.StatusOK, transientResponse(cm.Model, pts, req.MaxPoints, cacheState, solveMS))
+	resp := transientResponse(cm.Model, pts, req.MaxPoints, cacheState, solveMS)
+	if persistedRows > 0 {
+		resp.Persist, resp.PersistedRows = req.Persist, persistedRows
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func isJSONRequest(r *http.Request) bool {
@@ -417,6 +456,7 @@ func transientQueryParams(r *http.Request) (TransientRequest, error) {
 			return req, fmt.Errorf("timeout_ms: %v", err)
 		}
 	}
+	req.Persist = q.Get("persist")
 	return req, nil
 }
 

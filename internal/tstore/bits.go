@@ -1,0 +1,86 @@
+package tstore
+
+import "errors"
+
+// errShortBits is the internal sentinel for a bitstream that ends before the
+// decoder has read everything the header promised. Callers wrap it into
+// ErrCorrupt with positional context; it never escapes the package.
+var errShortBits = errors.New("bitstream truncated")
+
+// bitWriter appends bits MSB-first onto a byte slice. The zero value writes
+// into a fresh buffer; wrap an existing slice to continue after byte-aligned
+// content (the varint row count precedes the bitstream in a segment payload).
+type bitWriter struct {
+	b    []byte
+	free uint // unused low-order bits in the final byte (0 when byte-aligned)
+}
+
+func (w *bitWriter) writeBit(bit uint64) {
+	if w.free == 0 {
+		w.b = append(w.b, 0)
+		w.free = 8
+	}
+	w.free--
+	if bit != 0 {
+		w.b[len(w.b)-1] |= 1 << w.free
+	}
+}
+
+// writeBits emits the low n bits of v, most significant first. n must be at
+// most 64; n == 0 is a no-op.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for n > 0 {
+		if w.free == 0 {
+			w.b = append(w.b, 0)
+			w.free = 8
+		}
+		take := w.free
+		if take > n {
+			take = n
+		}
+		chunk := v >> (n - take)
+		if take < 64 {
+			chunk &= (1 << take) - 1
+		}
+		w.b[len(w.b)-1] |= byte(chunk << (w.free - take))
+		w.free -= take
+		n -= take
+	}
+}
+
+// bitReader consumes bits MSB-first from a byte slice. Every read is bounds
+// checked: running off the end returns errShortBits instead of panicking,
+// which is what makes the decoder safe on arbitrary fuzzer input.
+type bitReader struct {
+	b   []byte
+	pos uint64 // absolute bit offset
+}
+
+func (r *bitReader) remaining() uint64 {
+	return uint64(len(r.b))*8 - r.pos
+}
+
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	if uint64(n) > r.remaining() {
+		return 0, errShortBits
+	}
+	var v uint64
+	for n > 0 {
+		idx := r.pos >> 3
+		off := uint(r.pos & 7)
+		avail := 8 - off
+		take := avail
+		if take > n {
+			take = n
+		}
+		chunk := (uint64(r.b[idx]) >> (avail - take)) & ((1 << take) - 1)
+		v = v<<take | chunk
+		r.pos += uint64(take)
+		n -= take
+	}
+	return v, nil
+}
+
+func (r *bitReader) readBit() (uint64, error) {
+	return r.readBits(1)
+}

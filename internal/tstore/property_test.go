@@ -1,0 +1,200 @@
+package tstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refRaw is the brute-force reference for raw range queries: a linear scan
+// over the in-memory row log.
+func refRaw(rows []Row, t0, t1 int64) []Row {
+	var out []Row
+	for _, r := range rows {
+		if r.T >= t0 && r.T < t1 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// refBuckets is the brute-force reference for downsampled queries: restrict
+// to [t0, t1), then fold rows in time order into g-aligned buckets. It is
+// written independently of the store's fold to catch a shared bug.
+func refBuckets(rows []Row, t0, t1, g int64) []Bucket {
+	var out []Bucket
+	for _, r := range rows {
+		if r.T < t0 || r.T >= t1 {
+			continue
+		}
+		q := r.T / g
+		if r.T%g != 0 && r.T < 0 {
+			q--
+		}
+		start := q * g
+		if n := len(out); n > 0 && out[n-1].Start == start {
+			b := &out[n-1]
+			if r.V < b.Min {
+				b.Min = r.V
+			}
+			if r.V > b.Max {
+				b.Max = r.V
+			}
+			b.Count++
+			b.Sum += r.V
+			continue
+		}
+		out = append(out, Bucket{Start: start, Count: 1, Min: r.V, Max: r.V, Sum: r.V})
+	}
+	return out
+}
+
+func sameBits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func bucketsEqual(t *testing.T, label string, got, want []Bucket) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d buckets, want %d\ngot:  %+v\nwant: %+v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Start != w.Start || g.Count != w.Count ||
+			!sameBits(g.Min, w.Min) || !sameBits(g.Max, w.Max) || !sameBits(g.Sum, w.Sum) {
+			t.Fatalf("%s: bucket %d differs\ngot:  %+v\nwant: %+v", label, i, g, w)
+		}
+	}
+}
+
+// TestQueryPropertyBitIdentical drives randomized row sets through random
+// (t0, t1, granularity) queries and demands the store's answer — whichever
+// mix of rollup-served and raw-recomputed buckets produced it — be
+// bit-identical to the brute-force reference. Small granularities and tiny
+// flush sizes force segment boundaries and partially-covered rollup buckets
+// constantly; a mid-stream reopen checks the recovered state answers
+// identically too.
+func TestQueryPropertyBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		dir := t.TempDir()
+		grans := []int64{7, 10, 50}[:1+rng.Intn(3)]
+		opts := Options{FlushRows: 1 + rng.Intn(64), Granularities: grans}
+		st := mustOpen(t, dir, opts)
+
+		n := rng.Intn(2000)
+		log := make([]Row, 0, n)
+		tcur := int64(rng.Intn(100)) - 50
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) > 0 { // 25% duplicate timestamps
+				tcur += int64(rng.Intn(25))
+			}
+			v := math.Round((rng.Float64()*100-50)*8) / 8 // mix of exact and messy values
+			if rng.Intn(3) == 0 {
+				v = rng.NormFloat64() * 1e-3
+			}
+			log = append(log, Row{T: tcur, V: v})
+			if err := st.Append("s", tcur, v); err != nil {
+				t.Fatalf("trial %d append %d: %v", trial, i, err)
+			}
+			if i == n/2 && rng.Intn(2) == 0 {
+				// Reopen mid-stream: Close flushes the staged tail, Open
+				// re-verifies every segment and rebuilds the rollups. The
+				// recovered store must answer identically to one that never
+				// restarted.
+				if err := st.Close(); err != nil {
+					t.Fatal(err)
+				}
+				st = mustOpen(t, dir, opts)
+			}
+		}
+
+		span := int64(1)
+		if n > 0 {
+			span = log[len(log)-1].T - log[0].T + 10
+		}
+		base := int64(0)
+		if n > 0 {
+			base = log[0].T
+		}
+		for q := 0; q < 40; q++ {
+			t0 := base - 5 + rng.Int63n(span+10)
+			t1 := t0 + 1 + rng.Int63n(span)
+			var g int64
+			switch rng.Intn(3) {
+			case 0:
+				g = grans[rng.Intn(len(grans))] // rollup fast path eligible
+			case 1:
+				g = 1 + rng.Int63n(60) // usually no rollup: raw fallback
+			default:
+				g = 0 // raw rows
+			}
+			res, err := st.Query("s", t0, t1, g)
+			if err != nil {
+				if n == 0 {
+					continue // series never created
+				}
+				t.Fatalf("trial %d query %d: %v", trial, q, err)
+			}
+			if g == 0 {
+				want := refRaw(log, t0, t1)
+				if len(res.Rows) != len(want) {
+					t.Fatalf("trial %d query %d: %d raw rows, want %d", trial, q, len(res.Rows), len(want))
+				}
+				for i := range want {
+					if res.Rows[i].T != want[i].T || !sameBits(res.Rows[i].V, want[i].V) {
+						t.Fatalf("trial %d query %d row %d: got %+v want %+v", trial, q, i, res.Rows[i], want[i])
+					}
+				}
+				continue
+			}
+			bucketsEqual(t, "trial/query", res.Buckets, refBuckets(log, t0, t1, g))
+			if res.RollupBuckets+res.RawBuckets != len(res.Buckets) {
+				t.Fatalf("trial %d query %d: bucket accounting %d+%d != %d",
+					trial, q, res.RollupBuckets, res.RawBuckets, len(res.Buckets))
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestQueryUsesRollupFastPath pins that the fast path actually engages: a
+// fully-flushed series queried at a rollup granularity over an aligned
+// interior range must serve every bucket from rollups, no raw decodes.
+func TestQueryUsesRollupFastPath(t *testing.T) {
+	st := mustOpen(t, t.TempDir(), Options{FlushRows: 32, Granularities: []int64{100}})
+	for i := 0; i < 1024; i++ {
+		if err := st.Append("s", int64(i)*3, float64(i%17)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Query("s", 0, 3000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RawBuckets != 0 || res.RollupBuckets != 30 {
+		t.Fatalf("fast path not engaged: rollup=%d raw=%d", res.RollupBuckets, res.RawBuckets)
+	}
+	// Unaligned edges force exactly the two edge buckets onto the raw path.
+	res, err = st.Query("s", 150, 2950, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RawBuckets != 2 || res.RollupBuckets != 27 {
+		t.Fatalf("edge buckets: rollup=%d raw=%d", res.RollupBuckets, res.RawBuckets)
+	}
+	// Staged rows push their buckets (and nothing else) onto the raw path.
+	if err := st.Append("s", 3070, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err = st.Query("s", 0, 3200, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RawBuckets != 1 || res.RollupBuckets != 30 {
+		t.Fatalf("staged bucket split: rollup=%d raw=%d", res.RollupBuckets, res.RawBuckets)
+	}
+}

@@ -1,0 +1,204 @@
+package tstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Result is a query answer. Rows is populated for raw queries
+// (downsample == 0); Buckets for downsampled ones. RollupBuckets and
+// RawBuckets split the bucket count by how each was computed — served
+// straight from a flush-time rollup versus recomputed from raw rows because
+// the bucket was clipped by the range edge, overlapped still-staged data, or
+// the granularity matched no rollup level.
+type Result struct {
+	Series        string   `json:"series"`
+	From          int64    `json:"from_ns"`
+	To            int64    `json:"to_ns"`
+	Downsample    int64    `json:"downsample_ns,omitempty"`
+	Rows          []Row    `json:"rows,omitempty"`
+	Buckets       []Bucket `json:"buckets,omitempty"`
+	RollupBuckets int      `json:"rollup_buckets,omitempty"`
+	RawBuckets    int      `json:"raw_buckets,omitempty"`
+}
+
+// Query returns series data over the half-open range [t0, t1). With
+// downsample == 0 it returns the raw rows; with downsample g > 0 it returns
+// one aggregate bucket per g-aligned interval that holds at least one row.
+// Downsampled results are bit-identical to folding the raw rows in time
+// order, whichever path served each bucket: rollups answer only buckets
+// that lie entirely inside the range and entirely in flushed data, and
+// rollup buckets were themselves folded row-by-row at flush time.
+func (s *Store) Query(name string, t0, t1, downsample int64) (Result, error) {
+	if t1 <= t0 {
+		return Result{}, fmt.Errorf("tstore: empty range [%d, %d)", t0, t1)
+	}
+	if downsample < 0 {
+		return Result{}, fmt.Errorf("tstore: negative downsample %d", downsample)
+	}
+	se, err := s.seriesFor(name, false)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Series: name, From: t0, To: t1, Downsample: downsample}
+	se.mu.RLock()
+	defer se.mu.RUnlock()
+	if downsample == 0 {
+		res.Rows, err = se.rowsInRange(nil, t0, t1)
+		return res, err
+	}
+	return se.bucketsLocked(res, t0, t1, downsample)
+}
+
+// rowsInRange appends every row with t0 <= T < t1 to dst, decoding only the
+// segments whose footer t-range overlaps the query. Caller holds se.mu (any
+// mode); segment reads go through ReadAt so concurrent queries never share
+// a file cursor.
+func (se *series) rowsInRange(dst []Row, t0, t1 int64) ([]Row, error) {
+	// Segments are time-ordered; skip straight to the first overlapping one.
+	first := sort.Search(len(se.segs), func(i int) bool { return se.segs[i].tMax >= t0 })
+	var buf []byte
+	var seg []Row
+	for _, m := range se.segs[first:] {
+		if m.tMin >= t1 {
+			break
+		}
+		if int64(len(buf)) < m.size {
+			buf = make([]byte, m.size)
+		}
+		b := buf[:m.size]
+		if _, err := se.f.ReadAt(b, m.off); err != nil {
+			return dst, fmt.Errorf("tstore: series %q: %w", se.name, err)
+		}
+		var err error
+		seg, _, _, err = decodeSegment(seg[:0], b)
+		if err != nil {
+			return dst, fmt.Errorf("tstore: series %q segment at %d: %w", se.name, m.off, err)
+		}
+		if m.tMin >= t0 && m.tMax < t1 {
+			dst = append(dst, seg...)
+			continue
+		}
+		lo := sort.Search(len(seg), func(i int) bool { return seg[i].T >= t0 })
+		hi := sort.Search(len(seg), func(i int) bool { return seg[i].T >= t1 })
+		dst = append(dst, seg[lo:hi]...)
+	}
+	lo := sort.Search(len(se.staged), func(i int) bool { return se.staged[i].T >= t0 })
+	hi := sort.Search(len(se.staged), func(i int) bool { return se.staged[i].T >= t1 })
+	return append(dst, se.staged[lo:hi]...), nil
+}
+
+// foldBuckets aggregates time-ordered rows (already restricted to the query
+// range) into g-aligned buckets, row by row. This is the single fold used
+// by flush-time rollups, the raw fallback, and every test reference — one
+// accumulation order, one float64 result.
+func foldBuckets(dst []Bucket, rows []Row, g int64) []Bucket {
+	for _, r := range rows {
+		start := alignDown(r.T, g)
+		if n := len(dst); n > 0 && dst[n-1].Start == start {
+			dst[n-1].add(r.V)
+			continue
+		}
+		b := Bucket{Start: start}
+		b.add(r.V)
+		dst = append(dst, b)
+	}
+	return dst
+}
+
+// bucketsLocked computes the downsampled answer. Caller holds se.mu.
+func (se *series) bucketsLocked(res Result, t0, t1, g int64) (Result, error) {
+	var level *rollupLevel
+	for i := range se.rollups {
+		if se.rollups[i].g == g {
+			level = &se.rollups[i]
+			break
+		}
+	}
+	if level == nil {
+		// No rollup at this granularity: brute-force the raw rows.
+		rows, err := se.rowsInRange(nil, t0, t1)
+		if err != nil {
+			return res, err
+		}
+		res.Buckets = foldBuckets(nil, rows, g)
+		res.RawBuckets = len(res.Buckets)
+		return res, nil
+	}
+
+	// stagedCut is the start of the first bucket touched by staged rows;
+	// rollup buckets strictly before it are complete. Buckets must also sit
+	// entirely inside [t0, t1) to be served as-is.
+	stagedCut := int64(0)
+	haveStaged := len(se.staged) > 0
+	if haveStaged {
+		stagedCut = alignDown(se.staged[0].T, g)
+	}
+	fast := func(start int64) bool {
+		if start < t0 || t1-g < start {
+			return false
+		}
+		return !haveStaged || start < stagedCut
+	}
+
+	qLo, qHi := alignDown(t0, g), alignDown(t1-1, g) // bucket-start range touched by the query
+	var out []Bucket
+	var slow []int64
+	i := sort.Search(len(level.buckets), func(i int) bool { return level.buckets[i].Start >= qLo })
+	for ; i < len(level.buckets) && level.buckets[i].Start <= qHi; i++ {
+		b := level.buckets[i]
+		if fast(b.Start) {
+			out = append(out, b)
+			res.RollupBuckets++
+		} else {
+			slow = append(slow, b.Start)
+		}
+	}
+	// Staged rows can populate buckets the rollups have never seen.
+	for _, r := range se.staged {
+		if r.T < t0 || r.T >= t1 {
+			continue
+		}
+		start := alignDown(r.T, g)
+		if len(slow) == 0 || slow[len(slow)-1] != start {
+			slow = append(slow, start)
+		}
+	}
+	if len(slow) > 0 {
+		sort.Slice(slow, func(a, b int) bool { return slow[a] < slow[b] })
+		var rows []Row
+		for _, start := range dedupInt64(slow) {
+			lo, hi := start, start+g
+			if lo < t0 {
+				lo = t0
+			}
+			if hi > t1 {
+				hi = t1
+			}
+			var err error
+			rows, err = se.rowsInRange(rows[:0], lo, hi)
+			if err != nil {
+				return res, err
+			}
+			if len(rows) == 0 {
+				continue
+			}
+			before := len(out)
+			out = foldBuckets(out, rows, g)
+			res.RawBuckets += len(out) - before
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a].Start < out[b].Start })
+	}
+	res.Buckets = out
+	return res, nil
+}
+
+func dedupInt64(xs []int64) []int64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

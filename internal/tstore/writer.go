@@ -1,0 +1,75 @@
+package tstore
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Writer adapts a Store to the float-seconds telemetry sinks the simulation
+// layers emit into (hotspot.TelemetrySink, scenario's structural twin). It
+// prefixes every series with a run name so repeated replays land in
+// distinct, queryable namespaces, and converts times through Nanos so every
+// producer shares one timestamp mapping.
+type Writer struct {
+	st   *Store
+	run  string
+	rows atomic.Int64
+}
+
+// NewWriter returns a sink writing into st under the given run prefix
+// (series become "<run>/<series>"; an empty run writes series names
+// verbatim).
+func NewWriter(st *Store, run string) *Writer {
+	return &Writer{st: st, run: run}
+}
+
+// Append records one sample at a simulation time in seconds.
+func (w *Writer) Append(series string, tSeconds float64, valueC float64) error {
+	if w.run != "" {
+		series = w.run + "/" + series
+	}
+	if err := w.st.Append(series, Nanos(tSeconds), valueC); err != nil {
+		return err
+	}
+	w.rows.Add(1)
+	return nil
+}
+
+// Rows reports how many samples this writer has accepted.
+func (w *Writer) Rows() int64 { return w.rows.Load() }
+
+// Flush pushes all staged rows in the underlying store into segments.
+func (w *Writer) Flush() error { return w.st.Flush() }
+
+// ValidRunName reports whether name is usable as a run prefix: non-empty,
+// at most 128 bytes, drawn from [A-Za-z0-9._/-] with no empty path
+// elements. The service and CLI validate user-supplied run names through
+// this single gate before touching the store.
+func ValidRunName(name string) error {
+	if name == "" {
+		return fmt.Errorf("tstore: empty run name")
+	}
+	if len(name) > 128 {
+		return fmt.Errorf("tstore: run name %d bytes exceeds 128", len(name))
+	}
+	prevSlash := true // leading slash is an empty element too
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+			prevSlash = false
+		case c == '/':
+			if prevSlash {
+				return fmt.Errorf("tstore: run name %q has an empty path element", name)
+			}
+			prevSlash = true
+		default:
+			return fmt.Errorf("tstore: run name %q has invalid byte %q", name, c)
+		}
+	}
+	if prevSlash {
+		return fmt.Errorf("tstore: run name %q has an empty path element", name)
+	}
+	return nil
+}

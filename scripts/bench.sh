@@ -4,9 +4,10 @@
 # Runs the solver-path micro-benchmarks (the root EV6 benchmarks including
 # the reduced-order step and streaming-session rows, the rcnet backend
 # matrix with the N=16384/N=65536 reference-grid rows and the reduced
-# streaming row, and the linalg kernel benchmarks: numeric refactorization,
-# solve-kernel widths, f32-vs-f64 factors) and emits BENCH_solver.json via
-# cmd/benchreport:
+# streaming row, the linalg kernel benchmarks: numeric refactorization,
+# solve-kernel widths, f32-vs-f64 factors, and the tstore telemetry-store
+# group: ingest rows/s — gated at ≥1M rows/s on one core — plus rollup and
+# raw query latency) and emits BENCH_solver.json via cmd/benchreport:
 # ns/op, B/op, allocs/op, custom metrics, GOMAXPROCS and the commit hash.
 #
 # The suite runs once per GOMAXPROCS value in BENCH_PROCS (default "1 4"):
@@ -34,6 +35,7 @@ STEP_BENCHTIME="${BENCHTIME:-50000x}"
 SWEEP_BENCHTIME="${BENCHTIME:-1000x}"
 RCNET_BENCHTIME="${BENCHTIME:-20x}"
 KERNEL_BENCHTIME="${BENCHTIME:-20x}"
+TSTORE_BENCHTIME="${BENCHTIME:-200x}"
 OUT="${OUT:-BENCH_solver.json}"
 BENCH_PROCS="${BENCH_PROCS:-1 4}"
 
@@ -60,6 +62,10 @@ for procs in $BENCH_PROCS; do
   echo "== linalg kernel benchmarks (-benchtime $KERNEL_BENCHTIME)"
   GOMAXPROCS="$procs" go test -run '^$' -bench 'BenchmarkCholeskyFactorNumeric|BenchmarkSolveKernelWidths|BenchmarkCholeskySolvePrecision' \
     -benchmem -benchtime "$KERNEL_BENCHTIME" ./internal/linalg | tee -a "$tmp"
+
+  echo "== tstore telemetry store benchmarks (-benchtime $TSTORE_BENCHTIME)"
+  GOMAXPROCS="$procs" go test -run '^$' -bench 'BenchmarkTstore' \
+    -benchmem -benchtime "$TSTORE_BENCHTIME" ./internal/tstore | tee -a "$tmp"
 
   prev_args=()
   if [ -f "$OUT" ]; then

@@ -7,6 +7,10 @@
 //	thermsvc -addr :8080 -cache 32 -concurrency 4 -queue 64
 //	thermsvc -store /var/lib/thermsvc/tstore   # enable telemetry persistence + /v1/query
 //
+// SIGTERM/SIGINT triggers a graceful drain: new requests shed with 503 +
+// Retry-After while in-flight solves get up to -drain to finish, then the
+// store flushes and closes.
+//
 // Example requests (see DESIGN.md §7 for the full API):
 //
 //	# steady state of the EV6 under oil
@@ -45,6 +49,7 @@ func main() {
 		concurrency = flag.Int("concurrency", 4, "max concurrent solves")
 		queue       = flag.Int("queue", 64, "max queued requests before shedding with 429")
 		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		drain       = flag.Duration("drain", 5*time.Second, "graceful-shutdown deadline for in-flight solves after SIGTERM/SIGINT")
 		storeDir    = flag.String("store", "", "telemetry store directory (enables /v1/query and persist=<run>); empty = off")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
 	)
@@ -68,6 +73,7 @@ func main() {
 		MaxConcurrent:  *concurrency,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
+		DrainTimeout:   *drain,
 		Store:          store,
 	})
 

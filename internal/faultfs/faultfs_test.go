@@ -1,0 +1,161 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/tstore"
+)
+
+func tempFile(t *testing.T, f *FS) tstore.File {
+	t.Helper()
+	file, err := f.OpenFile(filepath.Join(t.TempDir(), "x"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { file.Close() })
+	return file
+}
+
+func TestAlwaysErrorRule(t *testing.T) {
+	f := New(nil, 1, Rule{Op: OpWriteAt, Mode: ModeError, P: 1})
+	file := tempFile(t, f)
+	if _, err := file.WriteAt([]byte("abcd"), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	// Non-matched ops are untouched.
+	if _, err := file.Write([]byte("abcd")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got := f.Injections()["writeat/error"]; got != 1 {
+		t.Fatalf("injection count %d, want 1 (%v)", got, f.Injections())
+	}
+}
+
+func TestShortWriteLeavesPrefix(t *testing.T) {
+	f := New(nil, 7, Rule{Op: OpWriteAt, Mode: ModeShortWrite, P: 1})
+	file := tempFile(t, f)
+	n, err := file.WriteAt([]byte("abcdefgh"), 0)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n != 4 {
+		t.Fatalf("short write kept %d bytes, want 4", n)
+	}
+	buf := make([]byte, 4)
+	if _, err := file.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "abcd" {
+		t.Fatalf("on-disk prefix %q", buf)
+	}
+}
+
+func TestDiskFullEpisode(t *testing.T) {
+	f := New(nil, 1)
+	file := tempFile(t, f)
+	f.SetDiskFull(true)
+	if _, err := file.WriteAt([]byte("x"), 0); !errors.Is(err, ErrDiskFull) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("disk-full err = %v", err)
+	}
+	if _, err := file.Write([]byte("x")); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("disk-full write err = %v", err)
+	}
+	f.SetDiskFull(false)
+	if _, err := file.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatalf("after episode: %v", err)
+	}
+	if got := f.Injections()["writeat/error"]; got != 1 {
+		t.Fatalf("writeat injections %d, want 1", got)
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	run := func() []string {
+		f := New(nil, 42, Rule{Op: OpWriteAt, Mode: ModeError, P: 0.5})
+		file := tempFile(t, f)
+		var outcomes []string
+		for i := 0; i < 64; i++ {
+			if _, err := file.WriteAt([]byte("row"), int64(3*i)); err != nil {
+				outcomes = append(outcomes, "fail")
+			} else {
+				outcomes = append(outcomes, "ok")
+			}
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: %s vs %s — seed not deterministic", i, a[i], b[i])
+		}
+		if a[i] == "fail" {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("p=0.5 rule tripped %d/%d times", fails, len(a))
+	}
+}
+
+func TestDelayRule(t *testing.T) {
+	f := New(nil, 1, Rule{Op: OpReadAt, Mode: ModeDelay, P: 1, Delay: 20 * time.Millisecond})
+	file := tempFile(t, f)
+	if _, err := file.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	buf := make([]byte, 4)
+	if _, err := file.ReadAt(buf, 0); err != nil {
+		t.Fatalf("delay must not fail the op: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("read returned in %v, want ≥ injected 20ms delay", d)
+	}
+	if got := f.Injections()["readat/delay"]; got != 1 {
+		t.Fatalf("delay injections %d", got)
+	}
+}
+
+func TestCustomErrorAndOpenInjection(t *testing.T) {
+	boom := errors.New("boom")
+	f := New(nil, 1, Rule{Op: OpOpen, Mode: ModeError, P: 1, Err: boom})
+	_, err := f.OpenFile(filepath.Join(t.TempDir(), "x"), os.O_RDWR|os.O_CREATE, 0o644)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if f.TotalInjections() != 1 {
+		t.Fatalf("total injections %d", f.TotalInjections())
+	}
+}
+
+func TestBadProbabilityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("P=2 rule accepted")
+		}
+	}()
+	New(nil, 1, Rule{Op: OpWrite, P: 2})
+}
+
+// The shim must satisfy tstore's FS seam end-to-end: a store opened over a
+// fault-free shim behaves exactly like one on the real filesystem.
+func TestPassThroughStore(t *testing.T) {
+	f := New(nil, 1)
+	st, err := tstore.Open(t.TempDir(), tstore.Options{FlushRows: 4, FS: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := st.Append("s", int64(i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -56,8 +56,10 @@ type ModelSpec struct {
 	AmbientC float64 `json:"ambient_c,omitempty"`
 	// Serving hints the serving shape. "per-user" declares many concurrent
 	// long-lived streaming sessions against this model and auto-selects the
-	// reduced-order backend (DESIGN.md §10); "" or "batch" keeps the default
-	// full backend.
+	// reduced-order backend (DESIGN.md §10); "auto" keeps the full backend
+	// normally but lets the server degrade the solve onto the reduced
+	// backend under queue pressure (the response carries degraded:true when
+	// it does); "" or "batch" keeps the default full backend always.
 	Serving string `json:"serving,omitempty"`
 	// Reduced forces the reduced-order backend regardless of Serving.
 	Reduced bool `json:"reduced,omitempty"`
@@ -140,9 +142,9 @@ func (sp ModelSpec) config() (hotspot.Config, error) {
 		ambientC = 45
 	}
 	switch sp.Serving {
-	case "", "batch", "per-user":
+	case "", "batch", "per-user", "auto":
 	default:
-		return hotspot.Config{}, fmt.Errorf("unknown serving mode %q (have per-user, batch)", sp.Serving)
+		return hotspot.Config{}, fmt.Errorf("unknown serving mode %q (have per-user, batch, auto)", sp.Serving)
 	}
 	cfg, err := core.BuildConfig(fp, core.PackageSpec{
 		Kind:      sp.Package,
@@ -201,6 +203,9 @@ type SteadyResponse struct {
 	SpreadC      float64            `json:"spread_c"`
 	Cache        string             `json:"cache"` // "hit" or "miss"
 	SolveMS      float64            `json:"solve_ms"`
+	// Degraded reports that queue pressure dropped this solve onto the
+	// reduced-order backend (serving "auto" only).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // TransientRequest replays an inline power trace. Streamed bodies (non-JSON
@@ -242,6 +247,14 @@ type TransientResponse struct {
 	// the telemetry store; PersistedRows counts the rows written.
 	Persist       string `json:"persist,omitempty"`
 	PersistedRows int64  `json:"persisted_rows,omitempty"`
+	// PersistPending reports degraded persistence: the flush failed, the
+	// rows are buffered in memory, and a background retrier is flushing
+	// them with backoff. PersistedRows is zero in that case — the rows are
+	// not yet durable.
+	PersistPending bool `json:"persist_pending,omitempty"`
+	// Degraded reports that queue pressure dropped this solve onto the
+	// reduced-order backend (serving "auto" only).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // SweepScenario is one entry of a sweep: a model plus either a steady power

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/admission"
 	"repro/internal/tstore"
 )
 
@@ -70,18 +71,21 @@ func (l *latencyRing) percentiles(ps ...float64) (vals []float64, window, total 
 }
 
 // metrics aggregates service counters. All fields are safe for concurrent
-// update.
+// update. The in-flight and queued gauges live in the admission controller
+// (exact under its mutex — the old atomic check-after-increment gauge could
+// transiently overcount); Server.Stats sources them from there.
 type metrics struct {
 	mu       sync.Mutex
 	requests map[string]int64 // per endpoint
 
-	rejectedQueueFull atomic.Int64
-	deadlineExceeded  atomic.Int64
-	badRequests       atomic.Int64
-	solveErrors       atomic.Int64
+	rejectedQueueFull   atomic.Int64
+	rejectedRateLimited atomic.Int64
+	deadlineExceeded    atomic.Int64
+	badRequests         atomic.Int64
+	solveErrors         atomic.Int64
 
-	inFlight atomic.Int64
-	queued   atomic.Int64
+	degradedSolves  atomic.Int64
+	persistDeferred atomic.Int64
 
 	solveLatency *latencyRing
 }
@@ -181,19 +185,45 @@ type ReducedStats struct {
 	Fallbacks int64 `json:"fallbacks"`
 }
 
+// DegradeStats reports the graceful-degradation rungs (DESIGN.md §12): how
+// often solves dropped to the reduced-order backend and how telemetry
+// persistence fell back from synchronous to buffered-with-retry.
+type DegradeStats struct {
+	// DegradedSolves counts solves served by the reduced-order backend
+	// because queue pressure crossed the degrade threshold.
+	DegradedSolves int64 `json:"degraded_solves"`
+	// PersistDeferred counts requests whose telemetry flush failed and was
+	// handed to the background retrier (response carried persist_pending).
+	PersistDeferred int64 `json:"persist_deferred"`
+	// PersistRetries counts background flush attempts; PersistRecovered
+	// counts retry episodes that reached a clean flush; PersistPending is
+	// true while a retry loop is still working.
+	PersistRetries   int64 `json:"persist_retries"`
+	PersistRecovered int64 `json:"persist_recovered"`
+	PersistPending   bool  `json:"persist_pending,omitempty"`
+}
+
 // Stats is the /v1/stats payload.
 type Stats struct {
 	Requests          map[string]int64 `json:"requests"`
 	RejectedQueueFull int64            `json:"rejected_queue_full"`
-	DeadlineExceeded  int64            `json:"deadline_exceeded"`
-	BadRequests       int64            `json:"bad_requests"`
-	SolveErrors       int64            `json:"solve_errors"`
-	InFlight          int64            `json:"in_flight"`
-	Queued            int64            `json:"queued"`
-	Cache             CacheStats       `json:"cache"`
-	CacheHitRate      float64          `json:"cache_hit_rate"`
-	SolveLatency      LatencyStats     `json:"solve_latency"`
-	Solver            SolverPathStats  `json:"solver"`
+	// RejectedRateLimited counts 429s from per-tenant token buckets.
+	RejectedRateLimited int64           `json:"rejected_rate_limited"`
+	DeadlineExceeded    int64           `json:"deadline_exceeded"`
+	BadRequests         int64           `json:"bad_requests"`
+	SolveErrors         int64           `json:"solve_errors"`
+	InFlight            int64           `json:"in_flight"`
+	Queued              int64           `json:"queued"`
+	Cache               CacheStats      `json:"cache"`
+	CacheHitRate        float64         `json:"cache_hit_rate"`
+	SolveLatency        LatencyStats    `json:"solve_latency"`
+	Solver              SolverPathStats `json:"solver"`
+	// Degrade reports the graceful-degradation counters.
+	Degrade DegradeStats `json:"degrade"`
+	// Admission is the per-tenant admission snapshot: quotas' effect
+	// (admitted/shed counts), queue-wait percentiles, and the live
+	// pressure/draining state.
+	Admission *admission.Snapshot `json:"admission,omitempty"`
 	// Telemetry summarizes the attached tstore (absent when the server runs
 	// without one).
 	Telemetry *tstore.Stats `json:"telemetry,omitempty"`
@@ -254,16 +284,19 @@ func (m *metrics) snapshot(cache *ModelCache) Stats {
 		solver.MeanStepSolveUS /= float64(steps)
 	}
 	return Stats{
-		Requests:          m.requestCounts(),
-		RejectedQueueFull: m.rejectedQueueFull.Load(),
-		DeadlineExceeded:  m.deadlineExceeded.Load(),
-		BadRequests:       m.badRequests.Load(),
-		SolveErrors:       m.solveErrors.Load(),
-		InFlight:          m.inFlight.Load(),
-		Queued:            m.queued.Load(),
-		Cache:             cs,
-		CacheHitRate:      hitRate,
-		SolveLatency:      LatencyStats{Count: total, Window: window, Total: total, P50MS: ps[0], P90MS: ps[1], P99MS: ps[2]},
-		Solver:            solver,
+		Requests:            m.requestCounts(),
+		RejectedQueueFull:   m.rejectedQueueFull.Load(),
+		RejectedRateLimited: m.rejectedRateLimited.Load(),
+		DeadlineExceeded:    m.deadlineExceeded.Load(),
+		BadRequests:         m.badRequests.Load(),
+		SolveErrors:         m.solveErrors.Load(),
+		Cache:               cs,
+		CacheHitRate:        hitRate,
+		SolveLatency:        LatencyStats{Count: total, Window: window, Total: total, P50MS: ps[0], P90MS: ps[1], P99MS: ps[2]},
+		Solver:              solver,
+		Degrade: DegradeStats{
+			DegradedSolves:  m.degradedSolves.Load(),
+			PersistDeferred: m.persistDeferred.Load(),
+		},
 	}
 }

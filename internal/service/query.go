@@ -90,7 +90,7 @@ func parseQueryParams(r *http.Request) (queryParams, error) {
 // response.
 func (s *Server) queryStore(w http.ResponseWriter, r *http.Request) (tstore.Result, queryParams, bool) {
 	if s.cfg.Store == nil {
-		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("no telemetry store configured (start the server with one to enable /v1/query)"))
+		s.failRetryAfter(w, http.StatusServiceUnavailable, 0, fmt.Errorf("no telemetry store configured (start the server with one to enable /v1/query)"))
 		return tstore.Result{}, queryParams{}, false
 	}
 	p, err := parseQueryParams(r)
@@ -100,12 +100,11 @@ func (s *Server) queryStore(w http.ResponseWriter, r *http.Request) (tstore.Resu
 	}
 	ctx, cancel := s.deadline(r, p.timeoutMS)
 	defer cancel()
-	release, code, err := s.acquire(ctx)
-	if err != nil {
-		s.fail(w, code, err)
+	dec, ok := s.admit(w, r, ctx)
+	if !ok {
 		return tstore.Result{}, p, false
 	}
-	defer release()
+	defer dec.Release()
 	if ctx.Err() != nil {
 		s.metrics.deadlineExceeded.Add(1)
 		s.fail(w, http.StatusGatewayTimeout, ctx.Err())
@@ -247,7 +246,7 @@ type SeriesListResponse struct {
 func (s *Server) handleQuerySeries(w http.ResponseWriter, r *http.Request) {
 	s.metrics.countRequest("query_series")
 	if s.cfg.Store == nil {
-		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("no telemetry store configured (start the server with one to enable /v1/query)"))
+		s.failRetryAfter(w, http.StatusServiceUnavailable, 0, fmt.Errorf("no telemetry store configured (start the server with one to enable /v1/query)"))
 		return
 	}
 	prefix := r.URL.Query().Get("prefix")

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tstore"
+)
+
+// Flush-retry backoff bounds: the first retry comes quickly (a transient
+// fault often clears immediately), then attempts spread out exponentially
+// so a dead disk is probed a few times a minute, not hammered.
+const (
+	retryInitialBackoff = 100 * time.Millisecond
+	retryMaxBackoff     = 5 * time.Second
+)
+
+// flushRetrier is the buffered-telemetry rung of the degradation ladder
+// (DESIGN.md §12): when a synchronous persist flush fails, the rows stay
+// staged in the store and the retrier keeps flushing in the background with
+// bounded exponential backoff, so the request degrades from
+// durable-on-response to buffered-with-retry instead of failing. The loop
+// goroutine only lives while a retry is pending — an idle server runs no
+// background work.
+type flushRetrier struct {
+	store *tstore.Store
+
+	mu      sync.Mutex
+	gen     int64 // bumped per kick; the loop exits only when it drained the latest
+	running bool
+	stopped bool
+	stopc   chan struct{}
+	wg      sync.WaitGroup
+
+	attempts  atomic.Int64 // flush attempts by the retry loop
+	recovered atomic.Int64 // retry loops that reached a clean flush
+}
+
+func newFlushRetrier(store *tstore.Store) *flushRetrier {
+	return &flushRetrier{store: store, stopc: make(chan struct{})}
+}
+
+// kick records that a flush failed and ensures the retry loop is running.
+func (fr *flushRetrier) kick() {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	fr.gen++
+	if fr.stopped || fr.running {
+		return
+	}
+	fr.running = true
+	fr.wg.Add(1)
+	go fr.loop()
+}
+
+func (fr *flushRetrier) loop() {
+	defer fr.wg.Done()
+	backoff := retryInitialBackoff
+	fr.mu.Lock()
+	gen := fr.gen
+	fr.mu.Unlock()
+	for {
+		select {
+		case <-fr.stopc:
+			fr.mu.Lock()
+			fr.running = false
+			fr.mu.Unlock()
+			return
+		case <-time.After(backoff):
+		}
+		fr.attempts.Add(1)
+		err := fr.store.Flush()
+		fr.mu.Lock()
+		if err == nil {
+			fr.recovered.Add(1)
+			if fr.gen == gen {
+				fr.running = false
+				fr.mu.Unlock()
+				return
+			}
+			// A flush failed (and kicked) while we were flushing: its rows
+			// may have missed this pass, so run another with fresh backoff.
+			gen = fr.gen
+			fr.mu.Unlock()
+			backoff = retryInitialBackoff
+			continue
+		}
+		fr.mu.Unlock()
+		backoff *= 2
+		if backoff > retryMaxBackoff {
+			backoff = retryMaxBackoff
+		}
+	}
+}
+
+// stats returns (retry attempts, recoveries, retry-pending) for /v1/stats.
+func (fr *flushRetrier) stats() (attempts, recovered int64, pending bool) {
+	fr.mu.Lock()
+	pending = fr.running
+	fr.mu.Unlock()
+	return fr.attempts.Load(), fr.recovered.Load(), pending
+}
+
+// stop halts the retry loop (idempotent), then makes one final synchronous
+// flush attempt so shutdown loses nothing a healthy disk could still take.
+func (fr *flushRetrier) stop() {
+	fr.mu.Lock()
+	if fr.stopped {
+		fr.mu.Unlock()
+		return
+	}
+	fr.stopped = true
+	close(fr.stopc)
+	fr.mu.Unlock()
+	fr.wg.Wait()
+	_ = fr.store.Flush()
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/hotspot"
 	"repro/internal/scenario"
 )
@@ -27,6 +28,12 @@ type ScenarioRequest struct {
 	// the server to be configured with a store.
 	Persist   string `json:"persist,omitempty"`
 	TimeoutMS int    `json:"timeout_ms,omitempty"`
+	// Serving hints the serving shape for every model in the grid, with the
+	// same semantics as ModelSpec.Serving: "per-user" always compiles the
+	// reduced-order backend, "auto" does so only under queue pressure (the
+	// response then carries degraded:true), "" or "batch" keeps the full
+	// backend.
+	Serving string `json:"serving,omitempty"`
 }
 
 // ScenarioPolicyJSON names one grid cell's DTM policy.
@@ -59,6 +66,9 @@ type ScenarioHeaderJSON struct {
 	// Solver maps each package label to the linear-solver backend its model
 	// compiled onto ("dense", "cholesky", "sparse").
 	Solver map[string]string `json:"solver,omitempty"`
+	// Degraded reports that queue pressure dropped the grid's models onto
+	// the reduced-order backend (serving "auto" only).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // ScenarioResponse is the buffered /v1/scenario reply.
@@ -73,19 +83,26 @@ type ScenarioResponse struct {
 	// compiled onto ("dense", "cholesky", "sparse").
 	Solver map[string]string `json:"solver,omitempty"`
 	// Persist echoes the request's run name when telemetry was written to
-	// the store; PersistedRows counts the rows written.
-	Persist       string `json:"persist,omitempty"`
-	PersistedRows int64  `json:"persisted_rows,omitempty"`
+	// the store; PersistedRows counts the rows written. PersistPending
+	// reports degraded persistence: the flush failed, the rows are buffered
+	// in memory, and a background retrier keeps flushing them with backoff.
+	Persist        string `json:"persist,omitempty"`
+	PersistedRows  int64  `json:"persisted_rows,omitempty"`
+	PersistPending bool   `json:"persist_pending,omitempty"`
+	// Degraded reports that queue pressure dropped the grid's models onto
+	// the reduced-order backend (serving "auto" only).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // ScenarioTrailerJSON is the last NDJSON row of a streamed scenario.
 type ScenarioTrailerJSON struct {
 	Done    bool    `json:"done"`
 	SolveMS float64 `json:"solve_ms"`
-	// Persist/PersistedRows mirror ScenarioResponse when the request asked
-	// for telemetry persistence.
-	Persist       string `json:"persist,omitempty"`
-	PersistedRows int64  `json:"persisted_rows,omitempty"`
+	// Persist/PersistedRows/PersistPending mirror ScenarioResponse when the
+	// request asked for telemetry persistence.
+	Persist        string `json:"persist,omitempty"`
+	PersistedRows  int64  `json:"persisted_rows,omitempty"`
+	PersistPending bool   `json:"persist_pending,omitempty"`
 }
 
 func cellJSON(r scenario.CellResult) ScenarioCellJSON {
@@ -109,13 +126,34 @@ func cellJSON(r scenario.CellResult) ScenarioCellJSON {
 	return out
 }
 
+// scenarioReduced resolves the request's serving mode against the admission
+// decision: "per-user" always compiles reduced-order models (not a
+// degradation — the client asked for them), "auto" does so only when queue
+// pressure has crossed the degrade threshold, in which case the solve counts
+// as degraded.
+func (s *Server) scenarioReduced(serving string, dec *admission.Decision) (reduced, degraded bool) {
+	switch serving {
+	case "per-user":
+		return true, false
+	case "auto":
+		if dec.Pressure >= s.cfg.DegradeThreshold {
+			s.metrics.degradedSolves.Add(1)
+			s.admission.RecordDegraded(dec.Tenant)
+			return true, true
+		}
+	}
+	return false, false
+}
+
 // compileScenario decodes and compiles a scenario request, resolving its
 // package models through the single-flight compiled-model cache (the same
 // fingerprint keying every other endpoint uses). ctx bounds the compile
 // itself (nominal prepass, model builds, initial steady solves) so a
-// deadline cannot pin the serving slot. The returned cache state is "hit"
+// deadline cannot pin the serving slot. reduced forces every package model
+// onto the reduced-order backend (fingerprints diverge, so reduced and full
+// compiles never share a cache entry). The returned cache state is "hit"
 // iff no package needed a compile.
-func (s *Server) compileScenario(ctx context.Context, req ScenarioRequest) (*scenario.Compiled, string, error) {
+func (s *Server) compileScenario(ctx context.Context, req ScenarioRequest, reduced bool) (*scenario.Compiled, string, error) {
 	if len(req.Spec) == 0 {
 		return nil, "", fmt.Errorf("missing spec")
 	}
@@ -127,6 +165,9 @@ func (s *Server) compileScenario(ctx context.Context, req ScenarioRequest) (*sce
 	compiled, err := scenario.Compile(spec, scenario.Options{
 		Ctx: ctx,
 		Models: func(cfg hotspot.Config) (*hotspot.Model, error) {
+			if reduced {
+				cfg.Reduced.Enabled = true
+			}
 			cm, hit, err := s.cache.Get(cfg.Fingerprint(), func() (*hotspot.Model, error) {
 				return hotspot.New(cfg)
 			})
@@ -151,6 +192,11 @@ func decodeScenarioRequest(r *http.Request) (ScenarioRequest, error) {
 	if err := decodeJSON(r, &req); err != nil {
 		return req, fmt.Errorf("decode request: %w", err)
 	}
+	switch req.Serving {
+	case "", "batch", "per-user", "auto":
+	default:
+		return req, fmt.Errorf("unknown serving mode %q (have per-user, batch, auto)", req.Serving)
+	}
 	return req, nil
 }
 
@@ -170,15 +216,15 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.deadline(r, req.TimeoutMS)
 	defer cancel()
-	release, code, err := s.acquire(ctx)
-	if err != nil {
-		s.fail(w, code, err)
+	dec, ok := s.admit(w, r, ctx)
+	if !ok {
 		return
 	}
-	defer release()
+	defer dec.Release()
 
 	start := time.Now()
-	compiled, cacheState, err := s.compileScenario(ctx, req)
+	reduced, degraded := s.scenarioReduced(req.Serving, dec)
+	compiled, cacheState, err := s.compileScenario(ctx, req, reduced)
 	if err != nil {
 		if ctx.Err() != nil {
 			s.metrics.deadlineExceeded.Add(1)
@@ -208,15 +254,21 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		Cache:     cacheState,
 		SolveMS:   solveMS,
 		Solver:    compiled.SolverBackends(),
+		Degraded:  degraded,
 	}
 	if tw != nil {
 		// Flush so the rows are in durable segments before the response
-		// reports them persisted.
+		// reports them persisted. A flush failure degrades persistence
+		// (DESIGN.md §12) instead of failing the solve: the rows stay staged
+		// in memory, the background retrier keeps flushing with backoff, and
+		// the response says persist_pending rather than claiming durability.
 		if err := tw.Flush(); err != nil {
-			s.fail(w, http.StatusInternalServerError, fmt.Errorf("persist %q: %w", req.Persist, err))
-			return
+			s.kickRetrier()
+			s.metrics.persistDeferred.Add(1)
+			resp.Persist, resp.PersistPending = req.Persist, true
+		} else {
+			resp.Persist, resp.PersistedRows = req.Persist, tw.Rows()
 		}
-		resp.Persist, resp.PersistedRows = req.Persist, tw.Rows()
 	}
 	for _, cr := range results {
 		resp.Cells = append(resp.Cells, cellJSON(cr))
@@ -243,15 +295,15 @@ func (s *Server) handleScenarioStream(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.deadline(r, req.TimeoutMS)
 	defer cancel()
-	release, code, err := s.acquire(ctx)
-	if err != nil {
-		s.fail(w, code, err)
+	dec, ok := s.admit(w, r, ctx)
+	if !ok {
 		return
 	}
-	defer release()
+	defer dec.Release()
 
 	start := time.Now()
-	compiled, cacheState, err := s.compileScenario(ctx, req)
+	reduced, degraded := s.scenarioReduced(req.Serving, dec)
+	compiled, cacheState, err := s.compileScenario(ctx, req, reduced)
 	if err != nil {
 		if ctx.Err() != nil {
 			s.metrics.deadlineExceeded.Add(1)
@@ -279,6 +331,7 @@ func (s *Server) handleScenarioStream(w http.ResponseWriter, r *http.Request) {
 		IntervalS: compiled.Interval(),
 		Cache:     cacheState,
 		Solver:    compiled.SolverBackends(),
+		Degraded:  degraded,
 	})
 	timedOut := false
 	onCell := func(cr scenario.CellResult) {
@@ -300,8 +353,13 @@ func (s *Server) handleScenarioStream(w http.ResponseWriter, r *http.Request) {
 	trailer := ScenarioTrailerJSON{Done: true, SolveMS: solveMS}
 	if tw != nil {
 		// The stream already committed to 200, so a flush failure surfaces in
-		// the trailer: PersistedRows stays zero and the run name is absent.
-		if err := tw.Flush(); err == nil {
+		// the trailer as degraded persistence: the rows stay staged, the
+		// background retrier keeps flushing, and persist_pending says so.
+		if err := tw.Flush(); err != nil {
+			s.kickRetrier()
+			s.metrics.persistDeferred.Add(1)
+			trailer.Persist, trailer.PersistPending = req.Persist, true
+		} else {
 			trailer.Persist, trailer.PersistedRows = req.Persist, tw.Rows()
 		}
 	}

@@ -3,12 +3,14 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/hotspot"
 	"repro/internal/ircam"
 	"repro/internal/pool"
@@ -29,6 +31,22 @@ type Config struct {
 	// DefaultTimeout is the per-request deadline when the request carries
 	// none (default 30 s).
 	DefaultTimeout time.Duration
+	// DefaultQuota is the admission quota for tenants without an entry in
+	// Tenants. The zero quota means unmetered: no rate limit, weight 1,
+	// bounded only by the global slots and queue.
+	DefaultQuota admission.Quota
+	// Tenants maps tenant name (the X-Tenant request header) to its
+	// admission quota.
+	Tenants map[string]admission.Quota
+	// DegradeThreshold is the queue-pressure fraction (queued/QueueDepth,
+	// in (0, 1]) beyond which degrade-eligible solves (serving "auto")
+	// drop onto the reduced-order backend. 0 defaults to 0.5; a value > 1
+	// disables degradation.
+	DegradeThreshold float64
+	// DrainTimeout bounds graceful shutdown: after Serve's context is
+	// cancelled, in-flight solves get this long to finish while new
+	// requests shed with 503 (default 5 s).
+	DrainTimeout time.Duration
 	// Store, when non-nil, enables the telemetry endpoints: transient and
 	// scenario requests can persist their series into it, and GET /v1/query
 	// serves time ranges back out. Without a store the query endpoints
@@ -49,27 +67,42 @@ func (c Config) defaulted() Config {
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
 	}
+	if c.DegradeThreshold == 0 {
+		c.DegradeThreshold = 0.5
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
 	return c
 }
 
 // Server is the thermal simulation service.
 type Server struct {
-	cfg     Config
-	cache   *ModelCache
-	sem     chan struct{}
-	metrics *metrics
-	mux     *http.ServeMux
+	cfg       Config
+	cache     *ModelCache
+	admission *admission.Controller
+	retrier   *flushRetrier
+	metrics   *metrics
+	mux       *http.ServeMux
 }
 
 // New builds a server from the (defaulted) config.
 func New(cfg Config) *Server {
 	cfg = cfg.defaulted()
 	s := &Server{
-		cfg:     cfg,
-		cache:   NewModelCache(cfg.CacheCap),
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		cfg:   cfg,
+		cache: NewModelCache(cfg.CacheCap),
+		admission: admission.New(admission.Config{
+			Slots:      cfg.MaxConcurrent,
+			QueueDepth: cfg.QueueDepth,
+			Default:    cfg.DefaultQuota,
+			Tenants:    cfg.Tenants,
+		}),
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
+	}
+	if cfg.Store != nil {
+		s.retrier = newFlushRetrier(cfg.Store)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -98,6 +131,13 @@ func (s *Server) Cache() *ModelCache { return s.cache }
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
 	st := s.metrics.snapshot(s.cache)
+	adm := s.admission.Stats()
+	st.Admission = &adm
+	st.InFlight = int64(adm.InFlight)
+	st.Queued = int64(adm.Queued)
+	if s.retrier != nil {
+		st.Degrade.PersistRetries, st.Degrade.PersistRecovered, st.Degrade.PersistPending = s.retrier.stats()
+	}
 	if s.cfg.Store != nil {
 		ts := s.cfg.Store.Stats()
 		st.Telemetry = &ts
@@ -107,33 +147,76 @@ func (s *Server) Stats() Stats {
 
 // --- admission control ---
 
-// acquire claims a solve slot, queueing up to QueueDepth waiters. It
-// returns a release func, or an HTTP status for shed load (429) and
-// exceeded deadlines (504).
-func (s *Server) acquire(ctx context.Context) (func(), int, error) {
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		if s.metrics.queued.Add(1) > int64(s.cfg.QueueDepth) {
-			s.metrics.queued.Add(-1)
-			s.metrics.rejectedQueueFull.Add(1)
-			return nil, http.StatusTooManyRequests,
-				fmt.Errorf("queue full (%d waiting, %d running)", s.cfg.QueueDepth, s.cfg.MaxConcurrent)
-		}
-		defer s.metrics.queued.Add(-1)
-		select {
-		case s.sem <- struct{}{}:
-		case <-ctx.Done():
-			s.metrics.deadlineExceeded.Add(1)
-			return nil, http.StatusGatewayTimeout, fmt.Errorf("deadline exceeded while queued: %v", ctx.Err())
-		}
+// maxTenantName bounds the X-Tenant header: the admission controller keeps
+// per-tenant state forever, so unbounded client-chosen names would be an
+// unbounded-memory vector.
+const maxTenantName = 64
+
+// admit gates one request through the admission controller, resolving the
+// tenant from the X-Tenant header ("default" when absent). On rejection it
+// has already written the response — 429 (rate/queue shed) or 503
+// (draining), both with a Retry-After header, or 504 for a deadline
+// exceeded while queued — and returns ok == false. On success the caller
+// must defer dec.Release().
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, ctx context.Context) (*admission.Decision, bool) {
+	tenant := r.Header.Get("X-Tenant")
+	if len(tenant) > maxTenantName {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("X-Tenant longer than %d bytes", maxTenantName))
+		return nil, false
 	}
-	s.metrics.inFlight.Add(1)
-	return func() {
-		s.metrics.inFlight.Add(-1)
-		<-s.sem
-	}, 0, nil
+	dec, err := s.admission.Admit(ctx, tenant)
+	if err == nil {
+		return dec, true
+	}
+	var shed *admission.ShedError
+	switch {
+	case errors.As(err, &shed):
+		switch shed.Reason {
+		case admission.ReasonDraining:
+			s.failRetryAfter(w, http.StatusServiceUnavailable, shed.RetryAfter,
+				fmt.Errorf("server draining for shutdown"))
+		case admission.ReasonRate:
+			s.metrics.rejectedRateLimited.Add(1)
+			s.failRetryAfter(w, http.StatusTooManyRequests, shed.RetryAfter, err)
+		default: // global or per-tenant queue bound
+			s.metrics.rejectedQueueFull.Add(1)
+			s.failRetryAfter(w, http.StatusTooManyRequests, shed.RetryAfter, err)
+		}
+	default: // context deadline or cancellation while queued
+		s.metrics.deadlineExceeded.Add(1)
+		s.fail(w, http.StatusGatewayTimeout, fmt.Errorf("deadline exceeded while queued: %v", err))
+	}
+	return nil, false
 }
+
+// maybeDegrade flips a degrade-eligible model spec (serving "auto") onto
+// the reduced-order backend when the admission decision carries queue
+// pressure at or above the configured threshold. Reduced-order compiles
+// are separate cache entries (Reduced is part of the fingerprint), so
+// degraded and full solves never share a model.
+func (s *Server) maybeDegrade(spec *ModelSpec, dec *admission.Decision) bool {
+	if spec.Serving != "auto" || spec.Reduced || dec.Pressure < s.cfg.DegradeThreshold {
+		return false
+	}
+	spec.Reduced = true
+	s.metrics.degradedSolves.Add(1)
+	s.admission.RecordDegraded(dec.Tenant)
+	return true
+}
+
+// BeginDrain puts the server into shutdown mode: queued waiters are evicted
+// and every subsequent request is shed with 503 + Retry-After. In-flight
+// solves run to completion. Serve calls this when its context is cancelled;
+// it is idempotent and exported for callers running their own http.Server.
+func (s *Server) BeginDrain() {
+	s.admission.Drain()
+	if s.retrier != nil {
+		s.retrier.stop()
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.admission.Draining() }
 
 // deadline derives the request context with the per-request timeout.
 func (s *Server) deadline(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
@@ -180,6 +263,24 @@ func (s *Server) fail(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorResponse{Error: err.Error()})
 }
 
+// failRetryAfter writes an error response carrying a Retry-After header.
+// Every 429 and 503 the server emits goes through here: shed clients always
+// learn when a retry could succeed (docs/api.md, Conventions).
+func (s *Server) failRetryAfter(w http.ResponseWriter, code int, retry time.Duration, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retry)))
+	s.fail(w, code, err)
+}
+
+// retryAfterSeconds rounds a retry hint up to whole seconds (the header has
+// no sub-second form), floored at 1.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 func decodeJSON(r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -189,7 +290,13 @@ func decodeJSON(r *http.Request, v any) error {
 // --- endpoints ---
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	// Still 200 while draining — the process is healthy, just not accepting
+	// work — but load balancers polling the body can see the state.
+	status := "ok"
+	if s.admission.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -210,14 +317,14 @@ func (s *Server) handleSteady(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.deadline(r, req.TimeoutMS)
 	defer cancel()
-	release, code, err := s.acquire(ctx)
-	if err != nil {
-		s.fail(w, code, err)
+	dec, ok := s.admit(w, r, ctx)
+	if !ok {
 		return
 	}
-	defer release()
+	defer dec.Release()
 
 	start := time.Now()
+	degraded := s.maybeDegrade(&req.Model, dec)
 	cm, cacheState, err := s.model(req.Model)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("model: %w", err))
@@ -247,6 +354,7 @@ func (s *Server) handleSteady(w http.ResponseWriter, r *http.Request) {
 		SpreadC:      res.Spread(),
 		Cache:        cacheState,
 		SolveMS:      solveMS,
+		Degraded:     degraded,
 	})
 }
 
@@ -340,14 +448,14 @@ func (s *Server) handleTransient(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.deadline(r, req.TimeoutMS)
 	defer cancel()
-	release, code, err := s.acquire(ctx)
-	if err != nil {
-		s.fail(w, code, err)
+	dec, ok := s.admit(w, r, ctx)
+	if !ok {
 		return
 	}
-	defer release()
+	defer dec.Release()
 
 	start := time.Now()
+	degraded := s.maybeDegrade(&req.Model, dec)
 	cm, cacheState, err := s.model(req.Model)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("model: %w", err))
@@ -386,6 +494,7 @@ func (s *Server) handleTransient(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var persistedRows int64
+	persistPending := false
 	if tw, err := s.persistWriter(req.Persist); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
@@ -393,20 +502,43 @@ func (s *Server) handleTransient(w http.ResponseWriter, r *http.Request) {
 		// The full sampled series persists (MaxPoints only strides the JSON
 		// reply), then flushes so the rows are in durable segments before the
 		// response claims them persisted.
-		if err := hotspot.EmitTracePoints(tw, "", cm.Model.Floorplan().Names(), pts); err != nil {
-			s.fail(w, http.StatusInternalServerError, fmt.Errorf("persist %q: %w", req.Persist, err))
+		err := hotspot.EmitTracePoints(tw, "", cm.Model.Floorplan().Names(), pts)
+		switch {
+		case errors.Is(err, tstore.ErrStagedFull):
+			// The staging cap only binds while flushes are failing: rows were
+			// dropped, so the honest answer is "retry later", and the retrier
+			// works on draining the backlog meanwhile.
+			s.kickRetrier()
+			s.failRetryAfter(w, http.StatusServiceUnavailable, 0,
+				fmt.Errorf("persist %q: %w", req.Persist, err))
 			return
-		}
-		if err := tw.Flush(); err != nil {
-			s.fail(w, http.StatusInternalServerError, fmt.Errorf("persist %q: %w", req.Persist, err))
+		case errors.Is(err, tstore.ErrOutOfOrder):
+			// The run name already holds newer rows — client data error.
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("persist %q: %w", req.Persist, err))
 			return
+		case err == nil:
+			err = tw.Flush()
 		}
-		persistedRows = tw.Rows()
+		if err != nil {
+			// Degraded persistence (DESIGN.md §12): the rows are staged in
+			// memory and the background retrier keeps flushing with backoff,
+			// so a disk fault costs durability-on-ack, not the solve. The
+			// response says so instead of claiming the rows durable.
+			s.kickRetrier()
+			s.metrics.persistDeferred.Add(1)
+			persistPending = true
+		} else {
+			persistedRows = tw.Rows()
+		}
 	}
 	solveMS := float64(time.Since(start)) / float64(time.Millisecond)
 	s.metrics.solveLatency.add(solveMS)
 
 	resp := transientResponse(cm.Model, pts, req.MaxPoints, cacheState, solveMS)
+	resp.Degraded = degraded
+	if persistPending {
+		resp.Persist, resp.PersistPending = req.Persist, true
+	}
 	if persistedRows > 0 {
 		resp.Persist, resp.PersistedRows = req.Persist, persistedRows
 	}
@@ -534,12 +666,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.deadline(r, req.TimeoutMS)
 	defer cancel()
-	release, code, err := s.acquire(ctx)
-	if err != nil {
-		s.fail(w, code, err)
+	dec, ok := s.admit(w, r, ctx)
+	if !ok {
 		return
 	}
-	defer release()
+	defer dec.Release()
 
 	start := time.Now()
 	results := make([]SweepResult, len(req.Scenarios))
@@ -669,12 +800,11 @@ func (s *Server) handleInvert(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.deadline(r, req.TimeoutMS)
 	defer cancel()
-	release, code, err := s.acquire(ctx)
-	if err != nil {
-		s.fail(w, code, err)
+	dec, ok := s.admit(w, r, ctx)
+	if !ok {
 		return
 	}
-	defer release()
+	defer dec.Release()
 
 	start := time.Now()
 	cm, cacheState, err := s.model(req.Model)
@@ -725,7 +855,18 @@ func (s *Server) handleInvert(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// Serve runs the server on addr until ctx is cancelled (graceful shutdown).
+// kickRetrier wakes the background flush retrier (no-op without a store).
+func (s *Server) kickRetrier() {
+	if s.retrier != nil {
+		s.retrier.kick()
+	}
+}
+
+// Serve runs the server on addr until ctx is cancelled, then drains: the
+// admission controller sheds new requests with 503 + Retry-After while
+// in-flight solves get up to DrainTimeout to finish, and the background
+// flush retrier stops after a final flush attempt. Closing the store (the
+// caller owns it) performs the final durable flush after Serve returns.
 func (s *Server) Serve(ctx context.Context, addr string) error {
 	hs := &http.Server{Addr: addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
@@ -734,7 +875,8 @@ func (s *Server) Serve(ctx context.Context, addr string) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		s.BeginDrain()
+		shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 		defer cancel()
 		if err := hs.Shutdown(shutCtx); err != nil {
 			return err

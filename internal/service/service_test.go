@@ -337,12 +337,31 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+// occupySlots admits n held requests so the test controls slot availability;
+// the returned func releases them.
+func occupySlots(t *testing.T, srv *Server, tenant string, n int) func() {
+	t.Helper()
+	decs := make([]interface{ Release() }, 0, n)
+	for i := 0; i < n; i++ {
+		dec, err := srv.admission.Admit(context.Background(), tenant)
+		if err != nil {
+			t.Fatalf("occupy slot %d: %v", i, err)
+		}
+		decs = append(decs, dec)
+	}
+	return func() {
+		for _, d := range decs {
+			d.Release()
+		}
+	}
+}
+
 func TestBackpressureAndDeadline(t *testing.T) {
 	srv, ts := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 1, DefaultTimeout: 5 * time.Second})
 
 	// Occupy the only solve slot.
-	srv.sem <- struct{}{}
-	defer func() { <-srv.sem }()
+	release := occupySlots(t, srv, "hold", 1)
+	defer release()
 
 	req := SteadyRequest{
 		Model:     ModelSpec{Floorplan: "ev6", Package: "air-sink"},
@@ -358,7 +377,7 @@ func TestBackpressureAndDeadline(t *testing.T) {
 	}()
 	// Wait until it is queued, then a second request must shed with 429.
 	deadline := time.Now().Add(2 * time.Second)
-	for srv.metrics.queued.Load() == 0 {
+	for srv.admission.Queued() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("request never queued")
 		}
@@ -367,6 +386,9 @@ func TestBackpressureAndDeadline(t *testing.T) {
 	resp, raw := postJSON(t, ts.URL+"/v1/steady", req)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("queue-full status %d: %s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After header")
 	}
 	if code := <-done; code != http.StatusGatewayTimeout {
 		t.Fatalf("queued request status %d, want 504", code)

@@ -1,0 +1,43 @@
+package tstore
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS is the filesystem surface the store touches. The default (OSFS) is a
+// thin pass-through to package os; internal/faultfs wraps any FS to inject
+// errors, short writes and latency for the chaos suite, which is why every
+// disk operation the store performs is routed through this seam rather than
+// calling os directly.
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	ReadDir(dir string) ([]fs.DirEntry, error)
+	ReadFile(path string) ([]byte, error)
+	OpenFile(path string, flag int, perm fs.FileMode) (File, error)
+	Remove(path string) error
+}
+
+// File is the per-file surface: positional reads for concurrent queries,
+// positional writes for appends, truncation for torn-tail recovery.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Writer
+	io.Closer
+	Truncate(size int64) error
+}
+
+type osFS struct{}
+
+// OSFS returns the real filesystem.
+func OSFS() FS { return osFS{} }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(dir string) ([]fs.DirEntry, error)    { return os.ReadDir(dir) }
+func (osFS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (osFS) Remove(path string) error                     { return os.Remove(path) }
+func (osFS) OpenFile(path string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}

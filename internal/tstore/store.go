@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Typed errors. Everything the codec rejects wraps ErrCorrupt; the store's
@@ -33,6 +34,13 @@ var (
 	ErrOutOfOrder    = errors.New("tstore: row older than series tail")
 	ErrClosed        = errors.New("tstore: store closed")
 	ErrUnknownSeries = errors.New("tstore: unknown series")
+	// ErrStagedFull rejects an append whose series has MaxStagedRows rows
+	// staged and unflushable (a disk outage keeps failing flushes). The row
+	// is dropped — not staged, not counted toward the series tail — and the
+	// store's DroppedRows counter records it, so ingestion degrades with a
+	// typed, countable error instead of growing the staging buffer without
+	// bound.
+	ErrStagedFull = errors.New("tstore: staging buffer full")
 )
 
 // Row is one telemetry sample: a timestamp in integer nanoseconds and a
@@ -66,6 +74,14 @@ type Options struct {
 	// one and three decades above the finest control interval the
 	// scenario engine uses. Must be positive; duplicates are dropped.
 	Granularities []int64
+	// MaxStagedRows caps the per-series staging buffer: appends beyond it
+	// are dropped with ErrStagedFull until a flush drains the buffer. The
+	// cap only binds while flushes are failing (a healthy store flushes at
+	// FlushRows, far below it). Default 65536; negative disables the cap.
+	MaxStagedRows int
+	// FS routes every disk operation; nil means the real filesystem.
+	// internal/faultfs substitutes an error/latency-injecting FS here.
+	FS FS
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -77,6 +93,21 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.Granularities == nil {
 		o.Granularities = []int64{1_000_000, 100_000_000}
+	}
+	if o.MaxStagedRows == 0 {
+		o.MaxStagedRows = 16 * o.FlushRows
+		if o.MaxStagedRows < 65536 {
+			o.MaxStagedRows = 65536
+		}
+	}
+	if o.MaxStagedRows < 0 {
+		o.MaxStagedRows = 0 // uncapped
+	}
+	if o.MaxStagedRows > 0 && o.MaxStagedRows < o.FlushRows {
+		return o, fmt.Errorf("tstore: MaxStagedRows %d below FlushRows %d", o.MaxStagedRows, o.FlushRows)
+	}
+	if o.FS == nil {
+		o.FS = OSFS()
 	}
 	seen := make(map[int64]bool, len(o.Granularities))
 	gs := o.Granularities[:0:0]
@@ -162,10 +193,11 @@ func alignDown(t, g int64) int64 {
 // readers never seek a shared cursor.
 type series struct {
 	mu      sync.RWMutex
+	st      *Store // immutable back-pointer (FS, options, fault counters)
 	name    string
 	path    string
-	f       *os.File // nil until the first flush creates the file
-	size    int64    // durable bytes, including the file header
+	f       File  // nil until the first flush creates the file
+	size    int64 // durable bytes, including the file header
 	segs    []segMeta
 	staged  []Row
 	lastT   int64
@@ -185,6 +217,13 @@ type Store struct {
 	paths  map[string]bool
 	closed bool
 
+	// Fault accounting, monotonic over the store's lifetime. droppedRows
+	// counts ErrStagedFull rejections (rows the store refused to stage);
+	// flushErrors counts flush attempts that failed to reach the disk. Both
+	// are typed signals the serving layer's degradation ladder keys off.
+	droppedRows atomic.Int64
+	flushErrors atomic.Int64
+
 	recovery RecoveryStats
 }
 
@@ -195,7 +234,7 @@ type RecoveryStats struct {
 	Rows   int64 `json:"rows"`
 	// TornTails counts files truncated at a corrupt or incomplete final
 	// segment; DroppedBytes totals the bytes removed that way.
-	TornTails    int  `json:"torn_tails,omitempty"`
+	TornTails    int   `json:"torn_tails,omitempty"`
 	DroppedBytes int64 `json:"dropped_bytes,omitempty"`
 	// DroppedFiles counts files whose header never made it to disk intact;
 	// nothing after a torn header can be valid in an append-only file, so
@@ -205,12 +244,17 @@ type RecoveryStats struct {
 
 // Stats is a point-in-time summary for /v1/stats and the CLI.
 type Stats struct {
-	Series   int           `json:"series"`
-	Rows     int64         `json:"rows"`
-	Staged   int64         `json:"staged"`
-	Segments int           `json:"segments"`
-	Bytes    int64         `json:"bytes"`
-	Recovery RecoveryStats `json:"recovery"`
+	Series   int   `json:"series"`
+	Rows     int64 `json:"rows"`
+	Staged   int64 `json:"staged"`
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+	// DroppedRows counts appends rejected with ErrStagedFull; FlushErrors
+	// counts flush attempts that failed to reach disk. Both are monotonic:
+	// they never reset, so deltas between snapshots are meaningful.
+	DroppedRows int64         `json:"dropped_rows,omitempty"`
+	FlushErrors int64         `json:"flush_errors,omitempty"`
+	Recovery    RecoveryStats `json:"recovery"`
 }
 
 // SeriesInfo summarizes one series for listings.
@@ -238,7 +282,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("tstore: %w", err)
 	}
 	s := &Store{
@@ -247,7 +291,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		series: make(map[string]*series),
 		paths:  make(map[string]bool),
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := opts.FS.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("tstore: %w", err)
 	}
@@ -269,7 +313,7 @@ func Open(dir string, opts Options) (*Store, error) {
 
 // recoverFile verifies one series file and registers the surviving series.
 func (s *Store) recoverFile(path string) error {
-	b, err := os.ReadFile(path)
+	b, err := s.opts.FS.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("tstore: %w", err)
 	}
@@ -277,14 +321,14 @@ func (s *Store) recoverFile(path string) error {
 	if !ok {
 		// The header is written in one shot before any segment; a torn or
 		// foreign header means no row in this file was ever readable.
-		if err := os.Remove(path); err != nil {
+		if err := s.opts.FS.Remove(path); err != nil {
 			return fmt.Errorf("tstore: dropping %s: %w", path, err)
 		}
 		s.recovery.DroppedFiles++
 		s.recovery.DroppedBytes += int64(len(b))
 		return nil
 	}
-	se := &series{name: name, path: path}
+	se := &series{st: s, name: name, path: path}
 	for _, g := range s.opts.Granularities {
 		se.rollups = append(se.rollups, rollupLevel{g: g})
 	}
@@ -312,7 +356,7 @@ func (s *Store) recoverFile(path string) error {
 			se.flushed++
 		}
 	}
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	f, err := s.opts.FS.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("tstore: %w", err)
 	}
@@ -419,7 +463,7 @@ func (s *Store) seriesFor(name string, create bool) (*series, error) {
 	if se, ok = s.series[name]; ok {
 		return se, nil
 	}
-	se = &series{name: name, path: filepath.Join(s.dir, s.fileFor(name))}
+	se = &series{st: s, name: name, path: filepath.Join(s.dir, s.fileFor(name))}
 	for _, g := range s.opts.Granularities {
 		se.rollups = append(se.rollups, rollupLevel{g: g})
 	}
@@ -475,6 +519,12 @@ func (se *series) stage(t int64, v float64) error {
 	if se.any && t < se.lastT {
 		return fmt.Errorf("%w: series %q: t=%d after t=%d", ErrOutOfOrder, se.name, t, se.lastT)
 	}
+	if cap := se.st.opts.MaxStagedRows; cap > 0 && len(se.staged) >= cap {
+		// The row is rejected, not staged: the series tail does not advance,
+		// so a later retry of the same timestamp is still in order.
+		se.st.droppedRows.Add(1)
+		return fmt.Errorf("%w: series %q: %d rows staged", ErrStagedFull, se.name, len(se.staged))
+	}
 	se.staged = append(se.staged, Row{T: t, V: v})
 	se.lastT, se.any = t, true
 	return nil
@@ -488,13 +538,18 @@ func (se *series) flushLocked(flushRows int) error {
 		return nil
 	}
 	if se.f == nil {
-		f, err := os.OpenFile(se.path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+		f, err := se.st.opts.FS.OpenFile(se.path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 		if err != nil {
+			se.st.flushErrors.Add(1)
 			return fmt.Errorf("tstore: %w", err)
 		}
 		hdr := appendFileHeader(nil, se.name)
 		if _, err := f.Write(hdr); err != nil {
 			f.Close()
+			// Remove the partial file (best effort) so a retry's O_EXCL create
+			// can succeed; a file with a torn header is unrecoverable anyway.
+			_ = se.st.opts.FS.Remove(se.path)
+			se.st.flushErrors.Add(1)
 			return fmt.Errorf("tstore: %w", err)
 		}
 		se.f = f
@@ -522,10 +577,13 @@ func (se *series) flushLocked(flushRows int) error {
 	}
 	if _, err := se.f.WriteAt(buf, se.size); err != nil {
 		// Drop the optimistically-appended metadata: nothing past se.size is
-		// trustworthy after a short write, and reopen will truncate it.
+		// trustworthy after a short write, and reopen will truncate it. The
+		// staged rows stay staged, so a later flush retries them at the same
+		// offset (overwriting any partial bytes this attempt left behind).
 		for len(se.segs) > 0 && se.segs[len(se.segs)-1].off >= se.size {
 			se.segs = se.segs[:len(se.segs)-1]
 		}
+		se.st.flushErrors.Add(1)
 		return fmt.Errorf("tstore: series %q: %w", se.name, err)
 	}
 	se.size += int64(len(buf))
@@ -559,17 +617,20 @@ func maxV(rows []Row) float64 {
 	return m
 }
 
-// Flush forces every series' staging buffer into segments.
+// Flush forces every series' staging buffer into segments. Every series is
+// attempted even when one fails — a fault on one file must not leave the
+// others unflushed — and the first error is returned.
 func (s *Store) Flush() error {
+	var firstErr error
 	for _, se := range s.snapshotSeries() {
 		se.mu.Lock()
 		err := se.flushLocked(s.opts.FlushRows)
 		se.mu.Unlock()
-		if err != nil {
-			return err
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
 }
 
 func (s *Store) snapshotSeries() []*series {
@@ -651,7 +712,11 @@ func (s *Store) Series() []SeriesInfo {
 
 // Stats summarizes the store for observability endpoints.
 func (s *Store) Stats() Stats {
-	st := Stats{Recovery: s.recovery}
+	st := Stats{
+		Recovery:    s.recovery,
+		DroppedRows: s.droppedRows.Load(),
+		FlushErrors: s.flushErrors.Load(),
+	}
 	for _, se := range s.snapshotSeries() {
 		se.mu.RLock()
 		st.Series++

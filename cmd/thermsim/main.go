@@ -16,6 +16,11 @@
 //	thermsim -flp chip.flp -ptrace chip.ptrace -transient -store ./tstore -run run1
 //	thermsim query -store ./tstore -series run1/IntReg -downsample 1e-3
 //
+//	# replay the trace against a running thermsvc (or thermsvc -fleet) and
+//	# query it back — retries honor the service's Retry-After convention
+//	thermsim -ptrace chip.ptrace -transient -remote localhost:8080 -run run1
+//	thermsim query -remote localhost:8080 -series run1/IntReg
+//
 // With -workload the power comes from the built-in synthetic workload
 // pipeline (gcc/mcf/art); with -ptrace it is read from a HotSpot-format
 // power trace file. The scenario subcommand runs an internal/scenario spec
@@ -67,8 +72,21 @@ func main() {
 		showMap   = flag.Bool("map", false, "print an ASCII thermal map")
 		storeDir  = flag.String("store", "", "telemetry store directory: persist the -transient sampled series (see 'thermsim query')")
 		runName   = flag.String("run", "run1", "run name prefixing persisted series (-store)")
+		remote    = flag.String("remote", "", "replay the -transient against a thermsvc/fleet URL instead of solving locally (retries honor Retry-After; -run persists server-side)")
+		interval  = flag.Float64("interval", 3.33e-6, "-remote: seconds per ptrace row sent to the server (HotSpot's 10K-cycle default)")
 	)
 	flag.Parse()
+	if *remote != "" {
+		if !*transient {
+			fmt.Fprintln(os.Stderr, "thermsim: -remote requires -transient (remote replay streams the trace)")
+			os.Exit(1)
+		}
+		if err := runRemoteTransient(*remote, *flpName, *flpFile, *ptrace, *pkg, *direction, *rconv, *secondary, *ambientC, *interval, *runName); err != nil {
+			fmt.Fprintln(os.Stderr, "thermsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*flpName, *flpFile, *workload, *ptrace, *pkg, *direction, *rconv, *secondary, *ambientC, *transient, *cycles, *showMap, *storeDir, *runName); err != nil {
 		fmt.Fprintln(os.Stderr, "thermsim:", err)
 		os.Exit(1)

@@ -26,17 +26,21 @@ func runQueryCmd(args []string) error {
 		toS        = fs.String("to", "", "range end in seconds, exclusive (default: series end)")
 		downsample = fs.Float64("downsample", 0, "bucket granularity in seconds (0 = raw rows)")
 		ndjson     = fs.Bool("ndjson", false, "emit the NDJSON telemetry stream instead of a table")
+		remote     = fs.String("remote", "", "query a thermsvc/fleet URL instead of a local store directory")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: thermsim query -store dir (-list | -series name) [-from s] [-to s] [-downsample s] [-ndjson]")
+		fmt.Fprintln(fs.Output(), "usage: thermsim query (-store dir | -remote url) (-list | -series name) [-from s] [-to s] [-downsample s] [-ndjson]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *remote != "" {
+		return runRemoteQuery(*remote, *series, *list, *fromS, *toS, *downsample, *ndjson)
+	}
 	if *storeDir == "" {
 		fs.Usage()
-		return fmt.Errorf("need -store")
+		return fmt.Errorf("need -store (or -remote)")
 	}
 	st, err := tstore.Open(*storeDir, tstore.Options{})
 	if err != nil {

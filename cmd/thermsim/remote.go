@@ -1,0 +1,238 @@
+package main
+
+// Remote mode: thermsim as a resilient client of a thermsvc replica or a
+// `thermsvc -fleet` router. Both the transient replay (-remote on the main
+// command) and `thermsim query -remote` ride fleet.RetryClient — capped
+// exponential backoff with full jitter honoring the service's Retry-After
+// convention — so a shedding (429) or draining (503) fleet is retried
+// politely with a clear final error instead of treated as fatal on the
+// first response.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/service"
+	"repro/internal/tstore"
+)
+
+// remoteAttempts is the client-side retry budget against a remote service;
+// the fleet router has its own internal failover budget on top.
+const remoteAttempts = 5
+
+func newRemoteClient() *fleet.RetryClient {
+	return &fleet.RetryClient{
+		HTTP:   &http.Client{Timeout: 5 * time.Minute},
+		Policy: fleet.RetryPolicy{MaxAttempts: remoteAttempts, BaseBackoff: 200 * time.Millisecond, MaxBackoff: 5 * time.Second, MaxRetryAfter: 15 * time.Second},
+		OnRetry: func(attempt int, sleep time.Duration, cause string) {
+			fmt.Fprintf(os.Stderr, "thermsim: remote attempt %d failed (%s); retrying in %v\n",
+				attempt, cause, sleep.Round(time.Millisecond))
+		},
+	}
+}
+
+func normalizeRemote(remote string) string {
+	if !strings.Contains(remote, "://") {
+		remote = "http://" + remote
+	}
+	return strings.TrimRight(remote, "/")
+}
+
+// remoteError turns a non-200 definitive response into a readable error.
+func remoteError(resp *http.Response) error {
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var er struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &er) == nil && er.Error != "" {
+		return fmt.Errorf("remote: %s (HTTP %d)", er.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("remote: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+}
+
+// runRemoteTransient replays a ptrace file against a remote thermsvc/fleet
+// transient endpoint (the streamed form: model spec in the query string,
+// trace as the body), optionally persisting it server-side under -run.
+func runRemoteTransient(remote, flpName, flpFile, ptrace, pkg, direction string,
+	rconv float64, secondary bool, ambientC, interval float64, runName string) error {
+	if ptrace == "" {
+		return fmt.Errorf("-remote transient replay needs -ptrace (the trace streams to the server)")
+	}
+	body, err := os.ReadFile(ptrace)
+	if err != nil {
+		return err
+	}
+	q := url.Values{}
+	if flpFile != "" {
+		flp, err := os.ReadFile(flpFile)
+		if err != nil {
+			return err
+		}
+		q.Set("flp", string(flp))
+	} else {
+		q.Set("floorplan", flpName)
+	}
+	q.Set("package", pkg)
+	q.Set("direction", direction)
+	if rconv != 0 {
+		q.Set("rconv", strconv.FormatFloat(rconv, 'g', -1, 64))
+	}
+	if secondary {
+		q.Set("secondary", "true")
+	}
+	q.Set("ambient_c", strconv.FormatFloat(ambientC, 'g', -1, 64))
+	if interval > 0 {
+		q.Set("interval", strconv.FormatFloat(interval, 'g', -1, 64))
+	}
+	if runName != "" {
+		q.Set("persist", runName)
+	}
+	target := normalizeRemote(remote) + "/v1/transient?" + q.Encode()
+
+	resp, err := newRemoteClient().Do(context.Background(), func(ctx context.Context) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, strings.NewReader(string(body)))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "text/plain")
+		return req, nil
+	})
+	if err != nil {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return remoteError(resp)
+	}
+	defer resp.Body.Close()
+	var tr service.TransientResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return fmt.Errorf("decode remote response: %w", err)
+	}
+
+	fmt.Printf("remote transient: %d steps, %d sampled points, cache %s, solve %.1f ms\n",
+		tr.Steps, len(tr.Points), tr.Cache, tr.SolveMS)
+	hotName, hotC := "", -1e9
+	for name, c := range tr.PeakC {
+		if c > hotC {
+			hotName, hotC = name, c
+		}
+	}
+	if hotName != "" {
+		fmt.Printf("peak: %s at %.2f °C\n", hotName, hotC)
+	}
+	if tr.Persist != "" {
+		fmt.Printf("persisted run %q: %d rows", tr.Persist, tr.PersistedRows)
+		if tr.PersistPending {
+			fmt.Printf(" (flush pending server-side)")
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// runRemoteQuery serves `thermsim query -remote`: the same listing/range
+// surface as the local store path, answered by a remote /v1/query.
+func runRemoteQuery(remote, series string, list bool, fromS, toS string, downsample float64, ndjson bool) error {
+	base := normalizeRemote(remote)
+	client := newRemoteClient()
+	get := func(target string) (*http.Response, error) {
+		resp, err := client.Do(context.Background(), func(ctx context.Context) (*http.Request, error) {
+			return http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+		})
+		if err != nil {
+			if resp != nil {
+				resp.Body.Close()
+			}
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, remoteError(resp)
+		}
+		return resp, nil
+	}
+
+	if list {
+		resp, err := get(base + "/v1/query/series")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var sl service.SeriesListResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sl); err != nil {
+			return fmt.Errorf("decode series list: %w", err)
+		}
+		fmt.Printf("remote %s: %d series\n", base, len(sl.Series))
+		fmt.Println("series                                   rows  segments     first(s)      last(s)")
+		for _, si := range sl.Series {
+			fmt.Printf("%-38s %6d  %8d  %11.6f  %11.6f\n",
+				si.Name, si.Rows, si.Segments, tstore.Seconds(si.FirstT), tstore.Seconds(si.LastT))
+		}
+		return nil
+	}
+	if series == "" {
+		return fmt.Errorf("need -series (or -list)")
+	}
+
+	q := url.Values{}
+	q.Set("series", series)
+	if fromS != "" {
+		q.Set("from_s", fromS)
+	}
+	if toS != "" {
+		q.Set("to_s", toS)
+	}
+	if downsample > 0 {
+		q.Set("downsample_s", strconv.FormatFloat(downsample, 'g', -1, 64))
+	}
+
+	if ndjson {
+		// The streaming endpoint already speaks the NDJSON telemetry wire
+		// format; pass it through verbatim.
+		resp, err := get(base + "/v1/query/stream?" + q.Encode())
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		_, err = io.Copy(os.Stdout, resp.Body)
+		return err
+	}
+
+	resp, err := get(base + "/v1/query?" + q.Encode())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var qr service.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return fmt.Errorf("decode query response: %w", err)
+	}
+	if qr.DownsampleNs > 0 {
+		fmt.Printf("%s: %d buckets of %.6g s (%d rollup-served, %d from raw)\n",
+			qr.Series, len(qr.Buckets), tstore.Seconds(qr.DownsampleNs), qr.RollupBuckets, qr.RawBuckets)
+		fmt.Println("    start(s)  count      min °C      max °C     mean °C")
+		for _, b := range qr.Buckets {
+			fmt.Printf("%12.6f  %5d  %10.4f  %10.4f  %10.4f\n",
+				tstore.Seconds(b.StartNs), b.Count, b.Min, b.Max, b.Mean)
+		}
+		return nil
+	}
+	fmt.Printf("%s: %d rows\n", qr.Series, len(qr.Rows))
+	fmt.Println("        t(s)          °C")
+	for _, r := range qr.Rows {
+		fmt.Printf("%12.6f  %10.4f\n", tstore.Seconds(r.TNs), r.V)
+	}
+	return nil
+}

@@ -6,6 +6,13 @@
 //
 //	thermsvc -addr :8080 -cache 32 -concurrency 4 -queue 64
 //	thermsvc -store /var/lib/thermsvc/tstore   # enable telemetry persistence + /v1/query
+//	thermsvc -addr :8080 -fleet 10.0.0.1:8080,10.0.0.2:8080,10.0.0.3:8080
+//
+// With -fleet the process is a routing front end instead of a solver: it
+// spreads requests across the listed replicas by consistent-hash model
+// affinity, health-probes them, retries/hedges/fails over around dead ones
+// (DESIGN.md §13), and serves the fleet block on its own /v1/stats. All
+// solver flags (-cache, -concurrency, ...) are ignored in fleet mode.
 //
 // SIGTERM/SIGINT triggers a graceful drain: new requests shed with 503 +
 // Retry-After while in-flight solves get up to -drain to finish, then the
@@ -28,6 +35,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -35,9 +43,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/service"
 	"repro/internal/tstore"
 )
@@ -52,8 +62,19 @@ func main() {
 		drain       = flag.Duration("drain", 5*time.Second, "graceful-shutdown deadline for in-flight solves after SIGTERM/SIGINT")
 		storeDir    = flag.String("store", "", "telemetry store directory (enables /v1/query and persist=<run>); empty = off")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
+		fleetList   = flag.String("fleet", "", "comma-separated replica addresses; run as a fleet router instead of a solver")
+		hedge       = flag.Duration("hedge", 200*time.Millisecond, "fleet mode: delay before hedging idempotent solves (negative = off)")
+		probeEvery  = flag.Duration("probe", time.Second, "fleet mode: health-probe interval")
 	)
 	flag.Parse()
+
+	if *fleetList != "" {
+		if err := runFleet(*addr, *fleetList, *hedge, *probeEvery, *drain); err != nil {
+			fmt.Fprintln(os.Stderr, "thermsvc:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var store *tstore.Store
 	if *storeDir != "" {
@@ -114,4 +135,44 @@ func main() {
 		os.Exit(1)
 	}
 	log.Print("thermsvc: shut down")
+}
+
+// runFleet serves the routing front end: the full replica API proxied by
+// model affinity with retries, hedging and failover. Shutdown mirrors the
+// solver's graceful drain: stop accepting, give in-flight proxied requests
+// the drain window, then stop the prober.
+func runFleet(addr, replicaList string, hedge, probeEvery, drain time.Duration) error {
+	replicas := strings.Split(replicaList, ",")
+	rt, err := fleet.New(fleet.Config{
+		Replicas:      replicas,
+		ProbeInterval: probeEvery,
+		HedgeDelay:    hedge,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{Addr: addr, Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("thermsvc: fleet router on %s over %d replicas (hedge %v, probe %v)",
+		addr, len(replicas), hedge, probeEvery)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("thermsvc: draining fleet router")
+	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	log.Print("thermsvc: shut down")
+	return nil
 }

@@ -1,0 +1,381 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/tstore"
+)
+
+// Chaos phases: workers tag every request with the phase it completed in.
+const (
+	phaseSteady  = 0 // all replicas up
+	phaseKilled  = 1 // victim dead
+	phaseRevived = 2 // victim back, fleet settled
+)
+
+// chaosResult is one logical client request as the chaos log records it.
+type chaosResult struct {
+	op      string
+	status  int
+	phase   int64
+	err     string
+	persist string // run name when this was a persisting transient
+	acked   int64  // persisted_rows from the response
+	pending bool   // persist_pending from the response
+}
+
+// TestChaosKillReplicaMidSweep is the headline robustness suite: four real
+// service replicas behind the router, two tenants sweeping concurrently,
+// one replica killed mid-load and revived. Asserts:
+//
+//   - outside the kill window every request succeeds; inside it the error
+//     budget is bounded (retry/failover absorb the death);
+//   - the dead replica's key share is reassigned deterministically to each
+//     key's next ring preference, and returns on revival;
+//   - the victim's breaker trips open and recovers to closed after revival
+//     (via the prober's half-open probe);
+//   - /v1/stats fleet counters exactly reconcile with the request log;
+//   - no acknowledged-then-lost telemetry: every persisted row the fleet
+//     acked is durable in some replica's store.
+func TestChaosKillReplicaMidSweep(t *testing.T) {
+	const nReplicas = 4
+	dirs := make([]string, nReplicas)
+	for i := range dirs {
+		dirs[i] = t.TempDir()
+	}
+	var storeMu sync.Mutex
+	stores := make([]*tstore.Store, nReplicas)
+	factory := func(i int) http.Handler {
+		// A revive models a process restart on the same data directory: the
+		// previous store closes (flushing what it can) before the fresh one
+		// recovers from disk. Factory calls all happen on the test goroutine.
+		storeMu.Lock()
+		defer storeMu.Unlock()
+		if stores[i] != nil {
+			_ = stores[i].Close()
+		}
+		st, err := tstore.Open(dirs[i], tstore.Options{})
+		if err != nil {
+			t.Fatalf("open store %d: %v", i, err)
+		}
+		stores[i] = st
+		return service.New(service.Config{MaxConcurrent: 3, QueueDepth: 32, Store: st}).Handler()
+	}
+
+	h, err := NewHarness(nReplicas, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	rt, err := New(Config{
+		Replicas:      h.Addrs(),
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  250 * time.Millisecond,
+		Breaker:       BreakerConfig{FailureThreshold: 3, OpenTimeout: 150 * time.Millisecond, HalfOpenProbes: 2},
+		Retry:         RetryPolicy{MaxAttempts: 6, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond, MaxRetryAfter: 50 * time.Millisecond},
+		HedgeDelay:    100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	specs := []service.ModelSpec{
+		steadySpec("grid:3x3"), steadySpec("grid:4x4"), steadySpec("grid:5x5"),
+		steadySpec("grid:3x4"), steadySpec("grid:4x3"), steadySpec("grid:5x4"),
+	}
+	transientSpec := steadySpec("grid:3x3")
+
+	// The victim is the ring owner of the first spec's fingerprint, so we
+	// know at least its keys change hands.
+	fp0, err := specs[0].Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := rt.Ring().Owner(fp0)
+	victimIdx := -1
+	for i, addr := range h.Addrs() {
+		if addr == victim {
+			victimIdx = i
+		}
+	}
+	if victimIdx < 0 {
+		t.Fatalf("victim %s not in harness addrs %v", victim, h.Addrs())
+	}
+
+	// --- concurrent two-tenant sweep load ---
+
+	var phase atomic.Int64
+	var runSeq atomic.Int64
+	var reqTotal atomic.Int64
+	stopc := make(chan struct{})
+	var mu sync.Mutex
+	var log []chaosResult
+	record := func(r chaosResult) {
+		mu.Lock()
+		log = append(log, r)
+		mu.Unlock()
+	}
+
+	httpc := &http.Client{Timeout: 15 * time.Second}
+	doOp := func(tenant string, seq int) {
+		var (
+			op   string
+			path string
+			body []byte
+			run  string
+		)
+		switch seq % 3 {
+		case 0, 1:
+			op, path = "steady", "/v1/steady"
+			body = steadyBody(t, specs[seq%len(specs)])
+		case 2:
+			op, path = "transient+persist", "/v1/transient"
+			run = fmt.Sprintf("chaos/%s/run-%d", tenant, runSeq.Add(1))
+			body, _ = json.Marshal(service.TransientRequest{
+				Model: transientSpec,
+				Trace: &service.TraceSpec{
+					Names:    []string{"c0_0", "c1_1", "c2_2"},
+					Interval: 0.01,
+					Rows:     [][]float64{{2, 2, 2}, {3, 3, 3}, {4, 4, 4}, {5, 5, 5}},
+				},
+				Persist: run,
+			})
+		}
+		req, err := http.NewRequest(http.MethodPost, front.URL+path, bytes.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Tenant", tenant)
+		reqTotal.Add(1)
+		resp, err := httpc.Do(req)
+		res := chaosResult{op: op, phase: phase.Load(), persist: run}
+		if err != nil {
+			res.err = err.Error()
+			record(res)
+			return
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		res.status = resp.StatusCode
+		if run != "" && resp.StatusCode == http.StatusOK {
+			var tr service.TransientResponse
+			if err := json.Unmarshal(data, &tr); err == nil {
+				res.acked = tr.PersistedRows
+				res.pending = tr.PersistPending
+			}
+		}
+		if resp.StatusCode != http.StatusOK {
+			res.err = string(data)
+		}
+		record(res)
+	}
+
+	var wg sync.WaitGroup
+	for _, tenant := range []string{"tenant-a", "tenant-b"} {
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(tenant string, w int) {
+				defer wg.Done()
+				for seq := w; ; seq++ {
+					select {
+					case <-stopc:
+						return
+					default:
+					}
+					doOp(tenant, seq)
+				}
+			}(tenant, w)
+		}
+	}
+
+	// --- the kill window ---
+
+	time.Sleep(250 * time.Millisecond) // warm phase: caches fill, conns reuse
+	phase.Store(phaseKilled)
+	h.Kill(victimIdx)
+	// The victim must leave rotation: breaker open, availability off.
+	waitCond(t, 3*time.Second, "victim ejected", func() bool {
+		rs := replicaStat(t, rt.Stats(), victim)
+		return rs.Breaker == "open" && !rs.Available
+	})
+	time.Sleep(400 * time.Millisecond) // sustained load against the 3-replica fleet
+
+	h.Revive(victimIdx)
+	// The prober's half-open probe must bring it back without sacrificing a
+	// client request.
+	waitCond(t, 3*time.Second, "victim rejoined", func() bool {
+		rs := replicaStat(t, rt.Stats(), victim)
+		return rs.Breaker == "closed" && rs.Available
+	})
+	phase.Store(phaseRevived)
+	time.Sleep(300 * time.Millisecond) // settled load on the full fleet
+	close(stopc)
+	wg.Wait()
+
+	// Settle check: with the fleet whole again, a burst of sequential
+	// requests must all succeed.
+	for i := 0; i < 20; i++ {
+		resp, data := postJSON(t, httpc, front.URL+"/v1/steady", steadyBody(t, specs[i%len(specs)]))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("settled request %d: %d %s", i, resp.StatusCode, data)
+		}
+		reqTotal.Add(1)
+	}
+
+	// --- zero failures outside the kill window, bounded budget inside ---
+
+	var perPhase [3]int
+	var failsInWindow int
+	for _, r := range log {
+		perPhase[r.phase]++
+		ok := r.err == "" && r.status == http.StatusOK
+		switch r.phase {
+		case phaseKilled:
+			if !ok {
+				failsInWindow++
+			}
+		default:
+			if !ok {
+				t.Errorf("phase %d %s request failed: status=%d err=%s", r.phase, r.op, r.status, r.err)
+			}
+		}
+	}
+	t.Logf("chaos load: %d steady-phase, %d kill-window, %d revived-phase requests; %d kill-window failures",
+		perPhase[0], perPhase[1], perPhase[2], failsInWindow)
+	for p, n := range perPhase {
+		if n == 0 {
+			t.Errorf("phase %d saw no requests — the schedule did not overlap the load", p)
+		}
+	}
+	if budget := perPhase[phaseKilled] / 4; failsInWindow > budget {
+		t.Errorf("kill-window failures %d exceed the error budget %d (of %d)", failsInWindow, budget, perPhase[phaseKilled])
+	}
+
+	// --- deterministic ring reassignment ---
+
+	ring := rt.Ring()
+	all := func(string) bool { return true }
+	without := func(a string) bool { return a != victim }
+	for _, spec := range specs {
+		fp, err := spec.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		owners := ring.Owners(fp, 0)
+		moved, _ := ring.OwnerBounded(fp, 1.25, without, nil)
+		if owners[0] == victim {
+			if moved != owners[1] {
+				t.Errorf("key %s: victim's share moved to %s, want next preference %s", fp[:12], moved, owners[1])
+			}
+		} else if moved != owners[0] {
+			t.Errorf("key %s moved to %s though its owner %s stayed up", fp[:12], moved, owners[0])
+		}
+		back, _ := ring.OwnerBounded(fp, 1.25, all, nil)
+		if back != owners[0] {
+			t.Errorf("key %s did not return to %s after revival: %s", fp[:12], owners[0], back)
+		}
+	}
+
+	// --- breaker lifecycle and stats reconciliation ---
+
+	s := rt.Stats()
+	vs := replicaStat(t, s, victim)
+	if vs.BreakerTrips < 1 {
+		t.Errorf("victim breaker never tripped: %+v", vs)
+	}
+	if vs.Transitions < 2 {
+		t.Errorf("victim availability flipped %d times, want >= 2 (out and back)", vs.Transitions)
+	}
+	if vs.Breaker != "closed" || !vs.Available {
+		t.Errorf("victim did not recover: %+v", vs)
+	}
+	if s.RingMoves < 2 {
+		t.Errorf("ring_moves = %d, want >= 2", s.RingMoves)
+	}
+
+	var attempts int64
+	for _, rs := range s.Replicas {
+		attempts += rs.Attempts
+		if rs.InFlight != 0 {
+			t.Errorf("replica %s still reports %d in-flight after drain", rs.Addr, rs.InFlight)
+		}
+	}
+	if attempts != s.Routed+s.Retries+s.Failovers+s.HedgesLaunched {
+		t.Errorf("attempt identity broken: sum(replica attempts)=%d, routed=%d retries=%d failovers=%d hedges=%d",
+			attempts, s.Routed, s.Retries, s.Failovers, s.HedgesLaunched)
+	}
+	if s.Proxied != s.Routed+s.RouteErrors+s.NoReplica {
+		t.Errorf("proxied identity broken: %+v", s)
+	}
+	if s.Proxied != reqTotal.Load() {
+		t.Errorf("router proxied %d requests, client log sent %d", s.Proxied, reqTotal.Load())
+	}
+	if s.Failovers < 1 {
+		t.Errorf("kill produced no failovers: %+v", s)
+	}
+
+	// --- no acknowledged-then-lost persisted rows ---
+
+	storeMu.Lock()
+	for i, st := range stores {
+		if err := st.Flush(); err != nil {
+			t.Errorf("flush store %d: %v", i, err)
+		}
+	}
+	// The service persists every floorplan block of the model (grid:3x3 has
+	// nine), regardless of which blocks the input trace drove.
+	var blocks []string
+	for iy := 0; iy < 3; iy++ {
+		for ix := 0; ix < 3; ix++ {
+			blocks = append(blocks, fmt.Sprintf("c%d_%d", ix, iy))
+		}
+	}
+	countRows := func(series string) int64 {
+		var total int64
+		for _, st := range stores {
+			res, err := st.Query(series, math.MinInt64/2, math.MaxInt64/2, 0)
+			if err != nil {
+				continue // series absent on this replica
+			}
+			total += int64(len(res.Rows))
+		}
+		return total
+	}
+	ackedRuns := 0
+	for _, r := range log {
+		if r.persist == "" || r.status != http.StatusOK || r.acked == 0 || r.pending {
+			continue
+		}
+		ackedRuns++
+		var durable int64
+		for _, b := range blocks {
+			durable += countRows(r.persist + "/" + b)
+		}
+		if durable < r.acked {
+			t.Errorf("run %s: fleet acked %d persisted rows but only %d are durable across replicas",
+				r.persist, r.acked, durable)
+		}
+	}
+	storeMu.Unlock()
+	if ackedRuns == 0 {
+		t.Error("no persisting transients were acked — durability assertion never exercised")
+	}
+	t.Logf("chaos stats: %+v", s)
+	t.Logf("durability: %d acked persist runs verified against the store union", ackedRuns)
+}

@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RetryPolicy tunes the resilient HTTP client. Zero fields take defaults.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries, the first included (default 4).
+	MaxAttempts int
+	// BaseBackoff seeds the exponential schedule (default 50 ms); attempt k
+	// sleeps a full-jitter draw from [0, min(MaxBackoff, BaseBackoff·2^k)].
+	BaseBackoff time.Duration
+	// MaxBackoff caps the schedule (default 2 s).
+	MaxBackoff time.Duration
+	// MaxRetryAfter caps an honored Retry-After header (default 5 s): a
+	// server asking for more than this waits past the point where retrying
+	// here is useful, so the client sleeps the cap instead.
+	MaxRetryAfter time.Duration
+}
+
+func (p RetryPolicy) defaulted() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	if p.MaxRetryAfter <= 0 {
+		p.MaxRetryAfter = 5 * time.Second
+	}
+	return p
+}
+
+// backoff returns the sleep before retry number attempt (1-based), as a
+// full-jitter draw: uniform in [0, min(MaxBackoff, Base·2^(attempt-1))].
+// Full jitter decorrelates a thundering herd of shed clients — with N
+// clients retrying a 429, fixed exponential backoff re-synchronizes them
+// into the same instant that shed them.
+func (p RetryPolicy) backoff(attempt int, randFloat func() float64) time.Duration {
+	ceil := p.BaseBackoff << uint(attempt-1)
+	if ceil > p.MaxBackoff || ceil <= 0 {
+		ceil = p.MaxBackoff
+	}
+	return time.Duration(randFloat() * float64(ceil))
+}
+
+// RetryAfter extracts a response's Retry-After delay (whole seconds per the
+// service convention; docs/api.md). ok is false when the header is absent or
+// unparsable.
+func RetryAfter(resp *http.Response) (time.Duration, bool) {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// Retryable classifies a response status: 429 and 503 are the service's
+// shed/unavailable answers (always sent with Retry-After), 502 is a proxy
+// hop failing, 504 while *queued remotely* is a server-side deadline — the
+// client's own deadline governs whether another try is worthwhile, so it is
+// retryable here and the context stops the loop when the budget is gone.
+func Retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// RetryClient wraps an http.Client with capped exponential backoff + full
+// jitter that honors the service's Retry-After convention. It retries
+// transport errors and Retryable statuses up to MaxAttempts, sleeping
+// max(jittered backoff, capped Retry-After) between tries, and surfaces a
+// clear final error naming the attempt count and last cause. Safe for
+// concurrent use.
+type RetryClient struct {
+	// HTTP is the underlying client (http.DefaultClient when nil).
+	HTTP *http.Client
+	// Policy tunes attempts and backoff.
+	Policy RetryPolicy
+	// OnRetry, when set, observes each retry before its sleep (stats,
+	// logging). attempt is the 1-based attempt that just failed.
+	OnRetry func(attempt int, sleep time.Duration, cause string)
+
+	// Injectable randomness and sleeping for deterministic tests.
+	randFloat func() float64
+	sleep     func(ctx context.Context, d time.Duration) error
+
+	randMu sync.Mutex
+}
+
+func (c *RetryClient) rand() float64 {
+	c.randMu.Lock()
+	defer c.randMu.Unlock()
+	if c.randFloat == nil {
+		return rand.Float64()
+	}
+	return c.randFloat()
+}
+
+func (c *RetryClient) doSleep(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		return c.sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs build → request → response with retries. build is called once per
+// attempt (http.Request bodies are single-use); it receives the context the
+// request must carry. A non-retryable response returns as-is with its body
+// readable. A retryable response has its body drained and closed before the
+// next attempt. When attempts run out the last retryable response is
+// returned alongside a descriptive error (the caller owns the body); pure
+// transport failures return a nil response.
+func (c *RetryClient) Do(ctx context.Context, build func(ctx context.Context) (*http.Request, error)) (*http.Response, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	policy := c.Policy.defaulted()
+	var lastCause string
+	for attempt := 1; ; attempt++ {
+		req, err := build(ctx)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := httpc.Do(req)
+		var retryAfter time.Duration
+		switch {
+		case err != nil:
+			lastCause = err.Error()
+		case !Retryable(resp.StatusCode):
+			return resp, nil
+		default:
+			lastCause = "status " + strconv.Itoa(resp.StatusCode)
+			if ra, ok := RetryAfter(resp); ok {
+				if ra > policy.MaxRetryAfter {
+					ra = policy.MaxRetryAfter
+				}
+				retryAfter = ra
+				lastCause += " (Retry-After " + ra.String() + ")"
+			}
+		}
+		if attempt >= policy.MaxAttempts {
+			if resp != nil {
+				return resp, fmt.Errorf("gave up after %d attempts: last %s", attempt, lastCause)
+			}
+			return nil, fmt.Errorf("gave up after %d attempts: last %s", attempt, lastCause)
+		}
+		if resp != nil {
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+		}
+		sleep := policy.backoff(attempt, c.rand)
+		if retryAfter > sleep {
+			sleep = retryAfter
+		}
+		if c.OnRetry != nil {
+			c.OnRetry(attempt, sleep, lastCause)
+		}
+		if err := c.doSleep(ctx, sleep); err != nil {
+			return nil, fmt.Errorf("after %d attempts (last %s): %w", attempt, lastCause, err)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeSleeper records requested sleeps without actually sleeping.
+type fakeSleeper struct {
+	slept []time.Duration
+}
+
+func (f *fakeSleeper) sleep(ctx context.Context, d time.Duration) error {
+	f.slept = append(f.slept, d)
+	return ctx.Err()
+}
+
+func buildGet(url string) func(ctx context.Context) (*http.Request, error) {
+	return func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	}
+}
+
+// TestRetryClientHonorsRetryAfter: retryable statuses sleep the server's
+// Retry-After (capped at MaxRetryAfter) when it exceeds the jittered backoff,
+// and the eventual success returns with its body intact.
+func TestRetryClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	sleeper := &fakeSleeper{}
+	var retried []string
+	c := &RetryClient{
+		Policy: RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond,
+			MaxBackoff: 10 * time.Millisecond, MaxRetryAfter: time.Second},
+		OnRetry:   func(attempt int, sleep time.Duration, cause string) { retried = append(retried, cause) },
+		randFloat: func() float64 { return 0 }, // no jitter: sleeps are pure Retry-After
+		sleep:     sleeper.sleep,
+	}
+	resp, err := c.Do(context.Background(), buildGet(srv.URL))
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || string(body) != "ok" {
+		t.Fatalf("final response %d %q", resp.StatusCode, body)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	// Retry-After asked 3 s; MaxRetryAfter caps the honored wait at 1 s.
+	if len(sleeper.slept) != 2 || sleeper.slept[0] != time.Second || sleeper.slept[1] != time.Second {
+		t.Fatalf("sleeps = %v, want [1s 1s]", sleeper.slept)
+	}
+	if len(retried) != 2 || !strings.Contains(retried[0], "status 503") || !strings.Contains(retried[0], "Retry-After 1s") {
+		t.Fatalf("OnRetry causes = %v", retried)
+	}
+}
+
+// TestRetryClientGivesUp: attempts stop at MaxAttempts with a descriptive
+// error, and the last retryable response is handed back body-readable.
+func TestRetryClientGivesUp(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		io.WriteString(w, `{"error":"shed"}`)
+	}))
+	defer srv.Close()
+
+	c := &RetryClient{
+		Policy:    RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxRetryAfter: 10 * time.Millisecond},
+		randFloat: func() float64 { return 0 },
+		sleep:     (&fakeSleeper{}).sleep,
+	}
+	resp, err := c.Do(context.Background(), buildGet(srv.URL))
+	if err == nil || !strings.Contains(err.Error(), "gave up after 3 attempts") {
+		t.Fatalf("err = %v, want gave-up error", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	if resp == nil {
+		t.Fatal("want the last response alongside the error")
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusTooManyRequests || !strings.Contains(string(body), "shed") {
+		t.Fatalf("last response %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestRetryClientNonRetryable: a definitive status — even an error one —
+// returns immediately without burning attempts.
+func TestRetryClientNonRetryable(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	c := &RetryClient{sleep: func(context.Context, time.Duration) error {
+		t.Fatal("must not sleep on a definitive answer")
+		return nil
+	}}
+	resp, err := c.Do(context.Background(), buildGet(srv.URL))
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || calls.Load() != 1 {
+		t.Fatalf("status %d after %d calls, want 400 after 1", resp.StatusCode, calls.Load())
+	}
+}
+
+// TestRetryClientTransportError: connection failures are retried and the
+// final error names the attempts and last cause; no response is returned.
+func TestRetryClientTransportError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close() // nothing listens: every dial fails
+
+	c := &RetryClient{
+		Policy:    RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond},
+		randFloat: func() float64 { return 0 },
+		sleep:     (&fakeSleeper{}).sleep,
+	}
+	resp, err := c.Do(context.Background(), buildGet(url))
+	if err == nil || !strings.Contains(err.Error(), "gave up after 2 attempts") {
+		t.Fatalf("err = %v", err)
+	}
+	if resp != nil {
+		t.Fatalf("resp = %v, want nil on pure transport failure", resp)
+	}
+}
+
+// TestRetryClientContextCancelled: a cancelled context stops the loop during
+// the backoff sleep with an error that wraps context.Canceled.
+func TestRetryClientContextCancelled(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &RetryClient{
+		Policy:    RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Millisecond},
+		randFloat: func() float64 { return 0.5 },
+		sleep: func(ctx context.Context, d time.Duration) error {
+			cancel()
+			return ctx.Err()
+		},
+	}
+	_, err := c.Do(ctx, buildGet(srv.URL))
+	if err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("err = %v, want context cancellation", err)
+	}
+}
+
+// TestBackoffSchedule pins the full-jitter schedule: the draw is uniform in
+// [0, min(MaxBackoff, Base·2^(k-1))], so rand=1 yields the ceiling and the
+// ceiling doubles per attempt until the cap (shift overflow included).
+func TestBackoffSchedule(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second}.defaulted()
+	one := func() float64 { return 1 }
+	for _, tc := range []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{3, 400 * time.Millisecond},
+		{4, 800 * time.Millisecond},
+		{5, time.Second},  // capped
+		{64, time.Second}, // shift overflow falls back to the cap
+	} {
+		if got := p.backoff(tc.attempt, one); got != tc.want {
+			t.Errorf("backoff(%d, 1.0) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+	half := func() float64 { return 0.5 }
+	if got := p.backoff(2, half); got != 100*time.Millisecond {
+		t.Errorf("backoff(2, 0.5) = %v, want 100ms", got)
+	}
+}
+
+// TestRetryAfterParsing covers the header convention: whole non-negative
+// seconds, anything else ignored.
+func TestRetryAfterParsing(t *testing.T) {
+	mk := func(v string) *http.Response {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return &http.Response{Header: h}
+	}
+	for _, tc := range []struct {
+		v    string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, false},
+		{"2", 2 * time.Second, true},
+		{"0", 0, true},
+		{"-1", 0, false},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0, false},
+	} {
+		got, ok := RetryAfter(mk(tc.v))
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("RetryAfter(%q) = (%v, %v), want (%v, %v)", tc.v, got, ok, tc.want, tc.ok)
+		}
+	}
+	for status, want := range map[int]bool{
+		200: false, 400: false, 404: false, 429: true, 500: false, 502: true, 503: true, 504: true,
+	} {
+		if got := Retryable(status); got != want {
+			t.Errorf("Retryable(%d) = %v, want %v", status, got, want)
+		}
+	}
+}

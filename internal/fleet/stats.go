@@ -1,0 +1,100 @@
+package fleet
+
+import "net/http"
+
+// ReplicaStats is one replica's row in the fleet stats block.
+type ReplicaStats struct {
+	// Addr is the configured replica address (ring member name).
+	Addr string `json:"addr"`
+	// Breaker is the circuit state: "closed", "open" or "half-open".
+	Breaker string `json:"breaker"`
+	// Available reports ring rotation: keys route here unless true turns
+	// false, at which point the next clockwise owner takes over.
+	Available bool `json:"available"`
+	// InFlight counts upstream calls running right now.
+	InFlight int64 `json:"in_flight"`
+	// Attempts counts upstream calls ever issued to this replica; Failures
+	// counts those classified as replica failures (transport error, 502/503).
+	Attempts int64 `json:"attempts"`
+	Failures int64 `json:"failures"`
+	// Probes / ProbeFailures count health-prober readiness checks.
+	Probes        int64 `json:"probes"`
+	ProbeFailures int64 `json:"probe_failures"`
+	// BreakerTrips counts closed→open transitions; Transitions counts
+	// rotation flips (each one is a deterministic ring reassignment).
+	BreakerTrips int64 `json:"breaker_trips"`
+	Transitions  int64 `json:"transitions"`
+}
+
+// Stats is the router's `fleet` block in /v1/stats. The call counters
+// reconcile exactly: Routed + Retries + Failovers + HedgesLaunched equals
+// the sum of per-replica Attempts (every upstream call is exactly one of
+// the four).
+type Stats struct {
+	Replicas []ReplicaStats `json:"replicas"`
+	// Proxied counts logical client requests entering the router; Routed
+	// counts those that issued at least one primary upstream call.
+	Proxied int64 `json:"proxied"`
+	Routed  int64 `json:"routed"`
+	// RouteErrors counts requests rejected before any upstream call
+	// (unreadable or oversized bodies); NoReplica counts requests shed with
+	// 503 because no replica was in rotation.
+	RouteErrors int64 `json:"route_errors"`
+	NoReplica   int64 `json:"no_replica"`
+	// Retries counts repeat calls to the same replica (429 + Retry-After);
+	// Failovers counts re-routes to the next ring owner.
+	Retries   int64 `json:"retries"`
+	Failovers int64 `json:"failovers"`
+	// HedgesLaunched counts speculative duplicate calls; HedgesWon counts
+	// logical requests whose hedge answered first.
+	HedgesLaunched int64 `json:"hedges_launched"`
+	HedgesWon      int64 `json:"hedges_won"`
+	// Exhausted counts logical requests that ran out of retry budget (502).
+	Exhausted int64 `json:"exhausted"`
+	// RingMoves counts availability transitions: each one deterministically
+	// reassigns the flipped replica's key share.
+	RingMoves int64 `json:"ring_moves"`
+}
+
+// StatsResponse is the router's /v1/stats payload. In fleet mode the proxy
+// answers stats itself — per-replica solver/cache/admission detail stays on
+// each replica's own /v1/stats.
+type StatsResponse struct {
+	Fleet Stats `json:"fleet"`
+}
+
+// Stats snapshots the router counters.
+func (rt *Router) Stats() Stats {
+	s := Stats{
+		Proxied:        rt.counters.proxied.Load(),
+		Routed:         rt.counters.routed.Load(),
+		RouteErrors:    rt.counters.routeErrors.Load(),
+		NoReplica:      rt.counters.noReplica.Load(),
+		Retries:        rt.counters.retries.Load(),
+		Failovers:      rt.counters.failovers.Load(),
+		HedgesLaunched: rt.counters.hedgesLaunched.Load(),
+		HedgesWon:      rt.counters.hedgesWon.Load(),
+		Exhausted:      rt.counters.exhausted.Load(),
+		RingMoves:      rt.counters.ringMoves.Load(),
+	}
+	for _, name := range rt.ring.Replicas() {
+		rep := rt.replicas[name]
+		s.Replicas = append(s.Replicas, ReplicaStats{
+			Addr:          rep.name,
+			Breaker:       rep.breaker.State().String(),
+			Available:     rep.up.Load(),
+			InFlight:      rep.inFlight.Load(),
+			Attempts:      rep.attempts.Load(),
+			Failures:      rep.failures.Load(),
+			Probes:        rep.probes.Load(),
+			ProbeFailures: rep.probeFails.Load(),
+			BreakerTrips:  rep.breaker.Trips(),
+			Transitions:   rep.transitions.Load(),
+		})
+	}
+	return s
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{Fleet: rt.Stats()})
+}

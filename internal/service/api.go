@@ -165,6 +165,18 @@ func (sp ModelSpec) config() (hotspot.Config, error) {
 	return cfg, nil
 }
 
+// Fingerprint resolves the spec and returns its model-cache key — the same
+// hotspot.Config.Fingerprint the compiled-model cache and the fleet router's
+// consistent-hash ring use, so a router placing a request and the replica
+// caching its model agree on the key byte for byte.
+func (sp ModelSpec) Fingerprint() (string, error) {
+	cfg, err := sp.config()
+	if err != nil {
+		return "", err
+	}
+	return cfg.Fingerprint(), nil
+}
+
 // TraceSpec is an inline power trace.
 type TraceSpec struct {
 	Names    []string    `json:"names"`

@@ -365,8 +365,9 @@ func TestDeadlineWhileQueued(t *testing.T) {
 }
 
 // TestDrainShedsAndEvicts: BeginDrain evicts queued waiters with 503 +
-// Retry-After, sheds every subsequent request the same way, reports the
-// state on /healthz, and leaves in-flight work untouched.
+// Retry-After, sheds every subsequent request the same way, flips /readyz
+// to 503 while /healthz stays pure liveness (200), and leaves in-flight
+// work untouched.
 func TestDrainShedsAndEvicts(t *testing.T) {
 	srv, ts := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 4})
 
@@ -389,14 +390,29 @@ func TestDrainShedsAndEvicts(t *testing.T) {
 	if nw.status != http.StatusServiceUnavailable || nw.retry == "" {
 		t.Fatalf("post-drain request: status %d retry %q, want 503 with Retry-After", nw.status, nw.retry)
 	}
+	// Liveness stays green while draining — the process is healthy, just not
+	// accepting work; restart orchestrators must not kill it.
 	resp, raw := getJSON(t, ts.URL+"/healthz")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz while draining: status %d", resp.StatusCode)
 	}
 	var hb map[string]string
 	decodeInto(t, raw, &hb)
-	if hb["status"] != "draining" {
-		t.Fatalf("healthz status %q, want draining", hb["status"])
+	if hb["status"] != "ok" {
+		t.Fatalf("healthz status %q, want ok (liveness is drain-agnostic)", hb["status"])
+	}
+	// Readiness goes 503 + Retry-After so fleets/load balancers stop routing.
+	resp, raw = getJSON(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("readyz while draining: missing Retry-After")
+	}
+	var rb map[string]string
+	decodeInto(t, raw, &rb)
+	if rb["status"] != "draining" {
+		t.Fatalf("readyz status %q, want draining", rb["status"])
 	}
 	// The in-flight slot holder finishes normally.
 	release()

@@ -105,6 +105,7 @@ func New(cfg Config) *Server {
 		s.retrier = newFlushRetrier(cfg.Store)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/steady", s.handleSteady)
 	s.mux.HandleFunc("POST /v1/transient", s.handleTransient)
@@ -289,14 +290,24 @@ func decodeJSON(r *http.Request, v any) error {
 
 // --- endpoints ---
 
+// handleHealthz is pure liveness: 200 as long as the process can answer,
+// draining or not. Restart decisions key off this; routing decisions must
+// not — that is /readyz's job.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	// Still 200 while draining — the process is healthy, just not accepting
-	// work — but load balancers polling the body can see the state.
-	status := "ok"
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 503 while draining so fleets and load
+// balancers stop routing here before shutdown completes, 200 otherwise.
+// Liveness and readiness split deliberately — a draining process is alive
+// (do not restart it) but not ready (do not send it work).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.admission.Draining() {
-		status = "draining"
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -406,6 +406,11 @@ func TestStatsAndHealthz(t *testing.T) {
 		t.Fatalf("healthz: %v %v", err, resp)
 	}
 	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: %v %v", err, resp)
+	}
+	resp.Body.Close()
 
 	postJSON(t, ts.URL+"/v1/steady", SteadyRequest{
 		Model: ModelSpec{Floorplan: "ev6", Package: "air-sink"},

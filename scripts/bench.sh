@@ -7,7 +7,10 @@
 # streaming row, the linalg kernel benchmarks: numeric refactorization,
 # solve-kernel widths, f32-vs-f64 factors, and the tstore telemetry-store
 # group: ingest rows/s — gated at ≥1M rows/s on one core — plus rollup and
-# raw query latency) and emits BENCH_solver.json via cmd/benchreport:
+# raw query latency, and the fleet routing group: bounded-load ring
+# lookups, proxy wire overhead against no-op backends, and the failover
+# window p99 while the primary owner is dead) and emits BENCH_solver.json
+# via cmd/benchreport:
 # ns/op, B/op, allocs/op, custom metrics, GOMAXPROCS and the commit hash.
 #
 # The suite runs once per GOMAXPROCS value in BENCH_PROCS (default "1 4"):
@@ -36,6 +39,7 @@ SWEEP_BENCHTIME="${BENCHTIME:-1000x}"
 RCNET_BENCHTIME="${BENCHTIME:-20x}"
 KERNEL_BENCHTIME="${BENCHTIME:-20x}"
 TSTORE_BENCHTIME="${BENCHTIME:-200x}"
+FLEET_BENCHTIME="${BENCHTIME:-200x}"
 OUT="${OUT:-BENCH_solver.json}"
 BENCH_PROCS="${BENCH_PROCS:-1 4}"
 
@@ -66,6 +70,10 @@ for procs in $BENCH_PROCS; do
   echo "== tstore telemetry store benchmarks (-benchtime $TSTORE_BENCHTIME)"
   GOMAXPROCS="$procs" go test -run '^$' -bench 'BenchmarkTstore' \
     -benchmem -benchtime "$TSTORE_BENCHTIME" ./internal/tstore | tee -a "$tmp"
+
+  echo "== fleet routing benchmarks (-benchtime $FLEET_BENCHTIME)"
+  GOMAXPROCS="$procs" go test -run '^$' -bench 'BenchmarkFleet' \
+    -benchmem -benchtime "$FLEET_BENCHTIME" ./internal/fleet | tee -a "$tmp"
 
   prev_args=()
   if [ -f "$OUT" ]; then
